@@ -1,0 +1,83 @@
+// Hyperparameter sensitivity ablation (Section 5 notes "more complex
+// examples can be sensitive to k and L, as is the performance overhead"):
+// sweeps the kNN size k, the LRD level count L and the representative
+// fraction r on the Poisson problem with a fixed wall budget per cell,
+// reporting final error, cluster count and refresh overhead.
+
+#include <cstdio>
+#include <limits>
+
+#include "common.hpp"
+#include "pinn/pde.hpp"
+
+using namespace sgm;
+
+namespace {
+
+struct Cell {
+  std::size_t k;
+  int levels;
+  double rep_fraction;
+};
+
+}  // namespace
+
+int main() {
+  const double budget = bench::budget_seconds(8.0);
+  std::printf("bench_ablation_kL: budget %.0fs/cell\n", budget);
+
+  pinn::PoissonProblem::Options popt;
+  popt.interior_points = 8192;
+  pinn::PoissonProblem problem(popt);
+
+  nn::MlpConfig net_cfg;
+  net_cfg.input_dim = 2;
+  net_cfg.output_dim = 1;
+  net_cfg.width = 32;
+  net_cfg.depth = 3;
+
+  const std::vector<Cell> cells = {
+      // k sweep at L=8, r=15%
+      {5, 8, 0.15},
+      {10, 8, 0.15},
+      {20, 8, 0.15},
+      {30, 8, 0.15},
+      // L sweep at k=10, r=15%
+      {10, 2, 0.15},
+      {10, 6, 0.15},
+      {10, 10, 0.15},
+      // r sweep at k=10, L=8
+      {10, 8, 0.05},
+      {10, 8, 0.30},
+  };
+
+  std::printf("%6s %4s %6s | %10s %10s %12s %10s\n", "k", "L", "r",
+              "err_u", "clusters", "refresh_s", "evals");
+  for (const auto& cell : cells) {
+    bench::Arm arm;
+    arm.label = "sgm";
+    arm.kind = bench::SamplerKind::kSgm;
+    arm.batch_size = 128;
+    arm.sgm.pgm.knn.k = cell.k;
+    arm.sgm.lrd.levels = cell.levels;
+    arm.sgm.rep_fraction = cell.rep_fraction;
+    arm.sgm.tau_e = 400;
+    arm.sgm.tau_g = 0;
+    arm.sgm.epoch.epoch_fraction = 0.25;
+
+    // Cluster count reported from a one-off decomposition with the same
+    // parameters (run_arm hides the sampler internals).
+    core::SgmOptions probe = arm.sgm;
+    core::SgmSampler probe_sampler(problem.interior_points(), probe);
+    const auto clusters = probe_sampler.clusters().num_clusters();
+
+    auto result = bench::run_arm(problem, arm, net_cfg, budget, 1, 200);
+    std::printf("%6zu %4d %5.0f%% | %10.4g %10u %12.3f %10llu\n", cell.k,
+                cell.levels, cell.rep_fraction * 100, result.best("u"),
+                clusters, result.refresh_seconds,
+                static_cast<unsigned long long>(result.loss_evaluations));
+  }
+  std::printf("(fixed wall budget per cell; err_u = relative L2 vs the "
+              "manufactured solution)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 3 reproduction: solution error of v vs wall time on the
+// parameterized annular-ring example. Crucially includes the paper's
+// negative result: SGM *without* the S3 stability term degrades on
+// parameterized training, while SGM-S recovers — so this bench runs five
+// arms (uniform small/large, MIS, SGM, SGM-S).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "pinn/annular.hpp"
+
+using namespace sgm;
+
+int main() {
+  const double budget = bench::budget_seconds(25.0);
+  const int seeds = bench::num_seeds(1);
+  std::printf("bench_fig3_ar_curves: budget %.0fs/arm, %d seed(s)\n",
+              budget, seeds);
+
+  pinn::AnnularProblem::Options small_opt;
+  small_opt.interior_points = 16384;
+  small_opt.boundary_points = 2048;
+  pinn::AnnularProblem small_problem(small_opt);
+
+  pinn::AnnularProblem::Options large_opt = small_opt;
+  large_opt.interior_points = 32768;
+  pinn::AnnularProblem large_problem(large_opt);
+
+  nn::MlpConfig net_cfg;
+  net_cfg.input_dim = 3;
+  net_cfg.output_dim = 3;
+  net_cfg.width = 48;
+  net_cfg.depth = 4;
+  util::Rng enc_rng(4242);  // same Fourier features for every arm
+  net_cfg.encoding = std::make_shared<nn::FourierEncoding>(3, 12, 1.0, enc_rng);
+
+  const std::uint64_t validate_every = 100;
+
+  auto sgm_base = [] {
+    bench::Arm a;
+    a.batch_size = 128;
+    a.sgm.pgm.knn.k = 7;
+    a.sgm.lrd.levels = 6;
+    a.sgm.rep_fraction = 0.15;
+    a.sgm.tau_e = 700;
+    a.sgm.tau_g = 6000;
+    a.sgm.epoch.epoch_fraction = 0.125;
+    a.sgm.isr.rank = 6;
+    a.sgm.isr.subspace_iterations = 4;
+    return a;
+  };
+
+  bench::Arm u_small{"Uniform_small", bench::SamplerKind::kUniform, 128};
+  bench::Arm u_large{"Uniform_large", bench::SamplerKind::kUniform, 512};
+  bench::Arm mis{"MIS_small", bench::SamplerKind::kMis, 128};
+  mis.mis.refresh_every = 700;
+  bench::Arm sgm = sgm_base();
+  sgm.label = "SGM-PINN";  // without S3 — the paper's degradation case
+  sgm.kind = bench::SamplerKind::kSgm;
+  bench::Arm sgms = sgm_base();
+  sgms.label = "SGM-S-PINN";  // with S3
+  sgms.kind = bench::SamplerKind::kSgmS;
+
+  std::vector<bench::ArmResult> results;
+  results.push_back(bench::run_arm(small_problem, u_small, net_cfg, budget,
+                                   seeds, validate_every));
+  results.push_back(bench::run_arm(large_problem, u_large, net_cfg, budget,
+                                   seeds, validate_every));
+  results.push_back(bench::run_arm(small_problem, mis, net_cfg, budget,
+                                   seeds, validate_every));
+  results.push_back(bench::run_arm(small_problem, sgm, net_cfg, budget,
+                                   seeds, validate_every));
+  results.push_back(bench::run_arm(small_problem, sgms, net_cfg, budget,
+                                   seeds, validate_every));
+
+  bench::print_curves(
+      "Figure 3: annular ring (parameterized) solution error of v vs time",
+      results, "v", "fig3");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Sampler refresh overhead (Sections 3.1/3.5): SGM-PINN's key efficiency
+// claim is that scoring r% of each cluster replaces scoring every sample.
+// This bench measures one refresh of each strategy against the same
+// network/problem, plus the per-refresh forward-pass counts.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sgm_sampler.hpp"
+#include "nn/mlp.hpp"
+#include "pinn/pde.hpp"
+#include "samplers/mis.hpp"
+#include "util/rng.hpp"
+
+using namespace sgm;
+
+namespace {
+
+struct Fixture {
+  pinn::PoissonProblem problem;
+  nn::Mlp net;
+
+  explicit Fixture(std::size_t n)
+      : problem(make_problem(n)), net(make_net()) {}
+
+  static pinn::PoissonProblem::Options make_problem_options(std::size_t n) {
+    pinn::PoissonProblem::Options o;
+    o.interior_points = n;
+    o.boundary_points = 256;
+    return o;
+  }
+  static pinn::PoissonProblem make_problem(std::size_t n) {
+    return pinn::PoissonProblem(make_problem_options(n));
+  }
+  static nn::Mlp make_net() {
+    nn::MlpConfig cfg;
+    cfg.input_dim = 2;
+    cfg.output_dim = 1;
+    cfg.width = 48;
+    cfg.depth = 4;
+    util::Rng rng(5);
+    return nn::Mlp(cfg, rng);
+  }
+
+  samplers::LossEvaluator evaluator() {
+    return [this](const std::vector<std::uint32_t>& rows) {
+      return problem.pointwise_residual(net, rows);
+    };
+  }
+};
+
+void BM_RefreshMisFull(benchmark::State& state) {
+  Fixture fx(static_cast<std::size_t>(state.range(0)));
+  samplers::MisOptions opt;
+  opt.refresh_every = 1;
+  opt.num_seeds = 0;  // Modulus default: score the entire dataset
+  auto eval = fx.evaluator();
+  util::Rng rng(1);
+  std::uint64_t it = 0;
+  samplers::MisSampler sampler(fx.problem.interior_points(), opt);
+  for (auto _ : state) {
+    sampler.maybe_refresh(it, eval, rng);
+    it += 1;
+  }
+  state.counters["loss_evals_per_refresh"] = benchmark::Counter(
+      static_cast<double>(sampler.loss_evaluations()) / it);
+}
+BENCHMARK(BM_RefreshMisFull)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RefreshMisSeeded(benchmark::State& state) {
+  Fixture fx(static_cast<std::size_t>(state.range(0)));
+  samplers::MisOptions opt;
+  opt.refresh_every = 1;
+  opt.num_seeds = static_cast<std::size_t>(state.range(0)) / 20;
+  auto eval = fx.evaluator();
+  util::Rng rng(1);
+  std::uint64_t it = 0;
+  samplers::MisSampler sampler(fx.problem.interior_points(), opt);
+  for (auto _ : state) {
+    sampler.maybe_refresh(it, eval, rng);
+    it += 1;
+  }
+  state.counters["loss_evals_per_refresh"] = benchmark::Counter(
+      static_cast<double>(sampler.loss_evaluations()) / it);
+}
+BENCHMARK(BM_RefreshMisSeeded)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RefreshSgm(benchmark::State& state) {
+  // One SGM score+epoch refresh (clusters prebuilt, as on the tau_e path).
+  Fixture fx(static_cast<std::size_t>(state.range(0)));
+  core::SgmOptions opt;
+  opt.pgm.knn.k = 10;
+  opt.lrd.levels = 8;
+  opt.tau_e = 1;
+  opt.tau_g = 0;
+  opt.rep_fraction = 0.15;  // the paper's r
+  core::SgmSampler sampler(fx.problem.interior_points(), opt);
+  auto eval = fx.evaluator();
+  util::Rng rng(1);
+  std::uint64_t it = 0;
+  for (auto _ : state) {
+    sampler.maybe_refresh(it, eval, rng);
+    it += 1;
+  }
+  state.counters["loss_evals_per_refresh"] = benchmark::Counter(
+      static_cast<double>(sampler.loss_evaluations()) / it);
+  state.counters["clusters"] =
+      benchmark::Counter(sampler.clusters().num_clusters());
+}
+BENCHMARK(BM_RefreshSgm)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RefreshSgmWithIsr(benchmark::State& state) {
+  Fixture fx(static_cast<std::size_t>(state.range(0)));
+  core::SgmOptions opt;
+  opt.pgm.knn.k = 10;
+  opt.lrd.levels = 8;
+  opt.tau_e = 1;
+  opt.tau_g = 0;
+  opt.rep_fraction = 0.15;
+  opt.use_isr = true;
+  opt.isr.rank = 6;
+  opt.isr.subspace_iterations = 4;
+  core::SgmSampler sampler(fx.problem.interior_points(), opt);
+  auto eval = fx.evaluator();
+  util::Rng rng(1);
+  std::uint64_t it = 0;
+  for (auto _ : state) {
+    sampler.maybe_refresh(it, eval, rng);
+    it += 1;
+  }
+  state.counters["loss_evals_per_refresh"] = benchmark::Counter(
+      static_cast<double>(sampler.loss_evaluations()) / it);
+}
+BENCHMARK(BM_RefreshSgmWithIsr)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphRebuildTauG(benchmark::State& state) {
+  // The tau_G path: full S1+S2 rebuild.
+  Fixture fx(static_cast<std::size_t>(state.range(0)));
+  core::PgmOptions pgm;
+  pgm.knn.k = 10;
+  graph::LrdOptions lrd;
+  lrd.levels = 8;
+  for (auto _ : state) {
+    auto g = core::build_pgm(fx.problem.interior_points(), nullptr, pgm);
+    auto c = graph::lrd_decompose(g, lrd);
+    benchmark::DoNotOptimize(c.num_clusters);
+  }
+}
+BENCHMARK(BM_GraphRebuildTauG)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

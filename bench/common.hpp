@@ -1,0 +1,73 @@
+#pragma once
+// Shared harness for the experiment benches: configures the paper's
+// sampling-method arms, runs them under a wall-time budget, and prints
+// table/figure data in the paper's format.
+//
+// Scale note: the paper trains 512x6 networks on 0.5M-16M points for hours
+// on a V100. These benches run the same controlled comparison — identical
+// trainer/network/problem per arm, only the sampler differs — scaled to
+// one CPU core. Budgets are configurable:
+//   SGM_BENCH_BUDGET  seconds of train wall time per arm (default 30)
+//   SGM_BENCH_SEEDS   number of seeds averaged, as in the paper (default 1)
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sgm_sampler.hpp"
+#include "nn/mlp.hpp"
+#include "pinn/pde.hpp"
+#include "pinn/trainer.hpp"
+#include "samplers/mis.hpp"
+#include "samplers/uniform.hpp"
+
+namespace sgm::bench {
+
+double budget_seconds(double fallback = 30.0);
+int num_seeds(int fallback = 1);
+
+enum class SamplerKind { kUniform, kMis, kSgm, kSgmS };
+
+struct Arm {
+  std::string label;             ///< e.g. "U_500", "SGM_500 (ours)"
+  SamplerKind kind = SamplerKind::kUniform;
+  std::size_t batch_size = 128;
+  core::SgmOptions sgm{};        ///< used by kSgm / kSgmS
+  samplers::MisOptions mis{};    ///< used by kMis
+};
+
+struct ArmResult {
+  Arm arm;
+  /// Averaged error-vs-time curves: per record, wall seconds and the named
+  /// validation errors (metric order fixed by the problem).
+  std::vector<pinn::TrainRecord> records;
+  std::vector<std::string> metrics;
+  double refresh_seconds = 0.0;
+  std::uint64_t loss_evaluations = 0;
+
+  double best(const std::string& metric) const;
+  /// First wall time at which `metric` fell to <= threshold (inf if never).
+  double time_to(const std::string& metric, double threshold) const;
+};
+
+/// Runs one arm for `seeds` seeds, averaging the validation curves
+/// record-by-record (records align because validate_every is fixed).
+ArmResult run_arm(const pinn::PinnProblem& problem, const Arm& arm,
+                  const nn::MlpConfig& net_cfg, double budget_s, int seeds,
+                  std::uint64_t validate_every);
+
+/// Renders the paper's "minimum + time-to-reach" table: one column per arm,
+/// Min(metric) rows followed by T(arm_metric) rows.
+void print_min_time_table(const std::string& title,
+                          const std::vector<ArmResult>& arms,
+                          const std::vector<std::string>& metrics);
+
+/// Prints error-vs-wall-time series (one block per arm) and writes
+/// `prefix_<arm>.csv` files next to the binary.
+void print_curves(const std::string& title,
+                  const std::vector<ArmResult>& arms,
+                  const std::string& metric, const std::string& csv_prefix);
+
+}  // namespace sgm::bench

@@ -1,0 +1,59 @@
+#include "cfd/analytic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::cfd {
+
+double AnnularPoiseuille::axial_velocity(double r) const {
+  if (r_inner <= 0.0 || r_outer <= r_inner)
+    throw std::invalid_argument("AnnularPoiseuille: need 0 < r_i < r_o");
+  if (r < r_inner || r > r_outer) return 0.0;
+  const double mu = nu * rho;
+  const double ro2 = r_outer * r_outer, ri2 = r_inner * r_inner;
+  const double log_ratio = std::log(r_outer / r_inner);
+  return pressure_gradient / (4.0 * mu) *
+         (ro2 - r * r - (ro2 - ri2) * std::log(r_outer / r) / log_ratio);
+}
+
+double AnnularPoiseuille::zero_shear_radius() const {
+  const double ro2 = r_outer * r_outer, ri2 = r_inner * r_inner;
+  return std::sqrt((ro2 - ri2) / (2.0 * std::log(r_outer / r_inner)));
+}
+
+double AnnularPoiseuille::max_velocity() const {
+  return axial_velocity(zero_shear_radius());
+}
+
+double AnnularPoiseuille::mean_velocity() const {
+  // Q / A with Q = int 2 pi r u(r) dr; closed form:
+  //   Q = g pi / (8 mu) [ r_o^4 - r_i^4 - (r_o^2 - r_i^2)^2 / ln(r_o/r_i) ]
+  const double mu = nu * rho;
+  const double ro2 = r_outer * r_outer, ri2 = r_inner * r_inner;
+  const double log_ratio = std::log(r_outer / r_inner);
+  const double q = pressure_gradient * M_PI / (8.0 * mu) *
+                   (ro2 * ro2 - ri2 * ri2 -
+                    (ro2 - ri2) * (ro2 - ri2) / log_ratio);
+  const double area = M_PI * (ro2 - ri2);
+  return q / area;
+}
+
+double AnnularPoiseuille::pressure(double z, double length) const {
+  return pressure_gradient * (length - z);
+}
+
+double plane_poiseuille_velocity(double y, double height, double g, double nu,
+                                 double rho) {
+  if (y < 0.0 || y > height) return 0.0;
+  return g / (2.0 * nu * rho) * y * (height - y);
+}
+
+double poisson_manufactured_solution(double x, double y) {
+  return std::sin(M_PI * x) * std::sin(M_PI * y);
+}
+
+double poisson_manufactured_rhs(double x, double y) {
+  return 2.0 * M_PI * M_PI * std::sin(M_PI * x) * std::sin(M_PI * y);
+}
+
+}  // namespace sgm::cfd

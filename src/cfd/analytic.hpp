@@ -1,0 +1,53 @@
+#pragma once
+// Closed-form reference solutions used as exact validation data:
+//  * annular Poiseuille flow with parameterized inner radius — the
+//    substitute for the paper's parameterized annular-ring example (the
+//    same physics family: steady laminar internal flow with a geometric
+//    parameter, but with exact ground truth);
+//  * plane Poiseuille flow;
+//  * manufactured Poisson solutions for solver and PINN self-tests.
+
+#include <cstddef>
+
+namespace sgm::cfd {
+
+/// Fully developed axial flow in the annulus r in [r_inner, r_outer],
+/// driven by a constant pressure gradient dp/dz = -g (g > 0 drives +z flow):
+///   u_z(r) = g / (4 mu) * [ r_o^2 - r^2 - (r_o^2 - r_i^2) *
+///            ln(r_o / r) / ln(r_o / r_i) ]
+/// with u_z(r_i) = u_z(r_o) = 0 and u_r = 0 everywhere.
+struct AnnularPoiseuille {
+  double r_inner = 1.0;
+  double r_outer = 2.0;
+  double pressure_gradient = 1.0;  ///< g = -dp/dz (> 0)
+  double nu = 0.1;                 ///< kinematic viscosity
+  double rho = 1.0;
+
+  /// Axial velocity at radius r (0 outside the annulus walls).
+  double axial_velocity(double r) const;
+
+  /// Peak axial velocity (at the zero-shear radius).
+  double max_velocity() const;
+
+  /// Radius of maximum velocity: r_m^2 = (r_o^2 - r_i^2) / (2 ln(r_o/r_i)).
+  double zero_shear_radius() const;
+
+  /// Bulk (area-averaged) velocity across the annulus.
+  double mean_velocity() const;
+
+  /// Pressure field p(z) for a duct of length `length` with p(length) = 0.
+  double pressure(double z, double length) const;
+};
+
+/// Plane Poiseuille: u(y) for channel walls at y = 0 and y = height, driven
+/// by g = -dp/dx.
+double plane_poiseuille_velocity(double y, double height, double g,
+                                 double nu, double rho = 1.0);
+
+/// Manufactured 2-D Poisson problem on the unit square:
+///   u(x, y)  = sin(pi x) sin(pi y)
+///   -nabla^2 u = f = 2 pi^2 sin(pi x) sin(pi y),  u = 0 on the boundary.
+double poisson_manufactured_solution(double x, double y);
+double poisson_manufactured_rhs(double x, double y);
+
+}  // namespace sgm::cfd

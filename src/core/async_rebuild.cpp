@@ -1,0 +1,36 @@
+#include "core/async_rebuild.hpp"
+
+namespace sgm::core {
+
+AsyncRebuilder::~AsyncRebuilder() { wait(); }
+
+void AsyncRebuilder::launch(tensor::Matrix points,
+                            std::unique_ptr<tensor::Matrix> outputs,
+                            PgmOptions pgm, graph::LrdOptions lrd) {
+  if (running_.load()) return;
+  wait();  // join any finished-but-unjoined worker
+  running_.store(true);
+  has_result_.store(false);
+  worker_ = std::thread([this, points = std::move(points),
+                         outputs = std::move(outputs), pgm = std::move(pgm),
+                         lrd = std::move(lrd)]() {
+    graph::CsrGraph g = build_pgm(points, outputs.get(), pgm);
+    graph::Clustering c = graph::lrd_decompose(g, lrd);
+    result_ = std::move(c);
+    has_result_.store(true);
+    running_.store(false);
+  });
+}
+
+std::optional<graph::Clustering> AsyncRebuilder::try_take() {
+  if (running_.load() || !has_result_.load()) return std::nullopt;
+  if (worker_.joinable()) worker_.join();
+  has_result_.store(false);
+  return std::move(result_);
+}
+
+void AsyncRebuilder::wait() {
+  if (worker_.joinable()) worker_.join();
+}
+
+}  // namespace sgm::core

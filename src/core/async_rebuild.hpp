@@ -1,0 +1,49 @@
+#pragma once
+// Background S1+S2 rebuild (Algorithm 1, lines 14-18): the paper overlaps
+// PGM construction and LRD decomposition with training on worker threads,
+// swapping the new clustering in when ready ("S <- S_new"). This class owns
+// the worker thread; the sampler polls try_take() once per iteration and
+// keeps training on the previous clustering until a result lands.
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "core/cluster_store.hpp"
+#include "core/pgm.hpp"
+#include "graph/lrd.hpp"
+#include "tensor/matrix.hpp"
+
+namespace sgm::core {
+
+class AsyncRebuilder {
+ public:
+  AsyncRebuilder() = default;
+  ~AsyncRebuilder();
+
+  AsyncRebuilder(const AsyncRebuilder&) = delete;
+  AsyncRebuilder& operator=(const AsyncRebuilder&) = delete;
+
+  /// Starts a rebuild from a snapshot of the inputs. No-op when one is
+  /// already running.
+  void launch(tensor::Matrix points, std::unique_ptr<tensor::Matrix> outputs,
+              PgmOptions pgm, graph::LrdOptions lrd);
+
+  /// True while the worker is still computing.
+  bool running() const { return running_.load(); }
+
+  /// Returns the finished clustering exactly once, if available.
+  std::optional<graph::Clustering> try_take();
+
+  /// Blocks until any in-flight rebuild finishes (used by tests/dtor).
+  void wait();
+
+ private:
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> has_result_{false};
+  graph::Clustering result_;
+};
+
+}  // namespace sgm::core

@@ -1,0 +1,55 @@
+#include "core/epoch_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::core {
+
+Epoch build_epoch(const ClusterStore& store,
+                  const std::vector<double>& cluster_scores,
+                  const EpochBuilderOptions& options, util::Rng& rng) {
+  const std::uint32_t nc = store.num_clusters();
+  if (cluster_scores.size() != nc)
+    throw std::invalid_argument("build_epoch: score count mismatch");
+  if (options.ratio_min <= 0.0 || options.ratio_max < options.ratio_min)
+    throw std::invalid_argument("build_epoch: bad ratio range");
+
+  const double n = static_cast<double>(store.num_nodes());
+  const double target = std::max(1.0, options.epoch_fraction * n);
+
+  // Linear score -> ratio map over the observed score range.
+  double lo = cluster_scores[0], hi = cluster_scores[0];
+  for (double s : cluster_scores) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  const double span = hi - lo;
+
+  std::vector<double> raw(nc);
+  double raw_total = 0.0;
+  for (std::uint32_t c = 0; c < nc; ++c) {
+    const double t = span > 0.0 ? (cluster_scores[c] - lo) / span : 0.5;
+    const double ratio =
+        options.ratio_min + t * (options.ratio_max - options.ratio_min);
+    raw[c] = ratio * static_cast<double>(store.size(c));
+    raw_total += raw[c];
+  }
+  const double scale = raw_total > 0.0 ? target / raw_total : 1.0;
+
+  Epoch epoch;
+  epoch.per_cluster.assign(nc, 0);
+  for (std::uint32_t c = 0; c < nc; ++c) {
+    const auto size_c = store.size(c);
+    auto want = static_cast<std::uint32_t>(std::llround(raw[c] * scale));
+    want = std::clamp<std::uint32_t>(want, 1u, size_c);  // floor of 1
+    epoch.per_cluster[c] = want;
+    const auto& members = store.members(c);
+    std::vector<std::uint32_t> local =
+        rng.sample_without_replacement(size_c, want);
+    for (std::uint32_t li : local) epoch.indices.push_back(members[li]);
+  }
+  return epoch;
+}
+
+}  // namespace sgm::core

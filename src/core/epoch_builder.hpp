@@ -1,0 +1,40 @@
+#pragma once
+// Algorithm 1, lines 9-10: map cluster scores to proportional sampling
+// ratios and materialize an epoch with P_i * S_i samples per cluster, with
+// a floor of one sample per cluster so no region is ever forgotten
+// (mitigating the retention failure mode of pure loss-proportional IS).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster_store.hpp"
+
+namespace sgm::core {
+
+struct EpochBuilderOptions {
+  /// Target epoch size as a fraction of the dataset (e.g. 500k of 8M
+  /// points ~ 0.0625 in the paper's LDC run).
+  double epoch_fraction = 0.125;
+  /// Sampling-ratio range: the lowest-score cluster contributes at a rate
+  /// ratio_min * base, the highest at ratio_max * base, linear in between
+  /// ("map L to a range of proportional sampling ratios P").
+  double ratio_min = 0.25;
+  double ratio_max = 4.0;
+};
+
+struct Epoch {
+  /// Dataset indices composing the epoch (unshuffled; the dealer shuffles).
+  std::vector<std::uint32_t> indices;
+  /// Realized samples per cluster (diagnostics/tests).
+  std::vector<std::uint32_t> per_cluster;
+};
+
+/// Builds an epoch given combined cluster scores. Guarantees:
+///   * every cluster contributes at least 1 and at most size(c) samples,
+///   * within a cluster, samples are drawn without replacement,
+///   * total size is close to epoch_fraction * N (exact up to flooring).
+Epoch build_epoch(const ClusterStore& store,
+                  const std::vector<double>& cluster_scores,
+                  const EpochBuilderOptions& options, util::Rng& rng);
+
+}  // namespace sgm::core

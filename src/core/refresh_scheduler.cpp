@@ -1,0 +1,3 @@
+#include "core/refresh_scheduler.hpp"
+
+// RefreshScheduler is header-only; this translation unit anchors the target.

@@ -1,0 +1,73 @@
+#include "core/scorer.hpp"
+
+#include <stdexcept>
+
+namespace sgm::core {
+
+namespace {
+/// Normalizes a vector to mean 1 (leaves it untouched when the mean is 0).
+void normalize_mean(std::vector<double>& v) {
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  if (mean <= 0.0) return;
+  for (double& x : v) x /= mean;
+}
+}  // namespace
+
+ClusterScores score_clusters(const ClusterStore& store,
+                             const ClusterStore::Representatives& reps,
+                             const std::vector<double>& rep_loss,
+                             const std::vector<double>& rep_isr,
+                             const ScorerOptions& options) {
+  if (reps.node.size() != rep_loss.size())
+    throw std::invalid_argument("score_clusters: loss size mismatch");
+  const bool use_isr = !rep_isr.empty() && options.isr_weight > 0.0;
+  if (use_isr && rep_isr.size() != reps.node.size())
+    throw std::invalid_argument("score_clusters: isr size mismatch");
+
+  const std::uint32_t nc = store.num_clusters();
+  ClusterScores out;
+  out.mean_loss.assign(nc, 0.0);
+  if (use_isr) out.mean_isr.assign(nc, 0.0);
+  std::vector<std::uint32_t> count(nc, 0);
+
+  for (std::size_t i = 0; i < reps.node.size(); ++i) {
+    const std::uint32_t c = reps.cluster[i];
+    out.mean_loss[c] += rep_loss[i];
+    if (use_isr) out.mean_isr[c] += rep_isr[i];
+    ++count[c];
+  }
+  for (std::uint32_t c = 0; c < nc; ++c) {
+    if (count[c] == 0) continue;
+    out.mean_loss[c] /= count[c];
+    if (use_isr) out.mean_isr[c] /= count[c];
+  }
+
+  // Normalize the two signals against each other (both to mean 1), then sum.
+  std::vector<double> loss_norm = out.mean_loss;
+  normalize_mean(loss_norm);
+  std::vector<double> isr_norm;
+  if (use_isr) {
+    isr_norm = out.mean_isr;
+    normalize_mean(isr_norm);
+  }
+
+  out.combined.assign(nc, 0.0);
+  for (std::uint32_t c = 0; c < nc; ++c) {
+    if (count[c] == 0) {
+      out.combined[c] = 1.0;  // unseen cluster: neutral
+      continue;
+    }
+    double s = loss_norm[c];
+    if (use_isr) s += options.isr_weight * isr_norm[c];
+    out.combined[c] = s;
+  }
+  if (use_isr) {
+    // Keep the combined scale comparable whether or not ISR is fused.
+    for (double& s : out.combined) s /= (1.0 + options.isr_weight);
+  }
+  return out;
+}
+
+}  // namespace sgm::core

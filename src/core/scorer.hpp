@@ -1,0 +1,39 @@
+#pragma once
+// Cluster importance scoring (Algorithm 1, lines 6-8): combine the losses
+// measured at cluster representatives with the optional ISR stability term,
+// normalized against each other exactly as Section 3.5 describes ("using
+// the same subset of samples as — and normalized with — the other PDE
+// losses").
+
+#include <vector>
+
+#include "core/cluster_store.hpp"
+
+namespace sgm::core {
+
+struct ScorerOptions {
+  /// Relative weight of the normalized ISR term (0 disables S3 fusion even
+  /// when ISR values are supplied).
+  double isr_weight = 1.0;
+};
+
+struct ClusterScores {
+  /// Combined score per cluster (>= 0, mean approximately 1 over clusters).
+  std::vector<double> combined;
+  /// Mean representative loss per cluster (pre-normalization).
+  std::vector<double> mean_loss;
+  /// Mean representative ISR per cluster (pre-normalization; empty if
+  /// unused).
+  std::vector<double> mean_isr;
+};
+
+/// Aggregates per-representative losses (and optional per-representative
+/// ISR scores, same alignment) into per-cluster combined scores. Clusters
+/// that received no representative keep a neutral score of 1.
+ClusterScores score_clusters(const ClusterStore& store,
+                             const ClusterStore::Representatives& reps,
+                             const std::vector<double>& rep_loss,
+                             const std::vector<double>& rep_isr,
+                             const ScorerOptions& options);
+
+}  // namespace sgm::core

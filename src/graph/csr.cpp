@@ -1,0 +1,99 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sgm::graph {
+
+CsrGraph CsrGraph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
+  CsrGraph g;
+  g.num_nodes_ = num_nodes;
+
+  // Normalize to u < v, drop self-loops, merge duplicates by summing weight.
+  for (auto& e : edges) {
+    if (e.u >= num_nodes || e.v >= num_nodes)
+      throw std::out_of_range("CsrGraph: edge endpoint out of range");
+    if (e.w <= 0.0)
+      throw std::invalid_argument("CsrGraph: edge weights must be positive");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  for (const auto& e : edges) {
+    if (!g.edges_.empty() && g.edges_.back().u == e.u &&
+        g.edges_.back().v == e.v) {
+      g.edges_.back().w += e.w;
+    } else {
+      g.edges_.push_back(e);
+    }
+  }
+
+  // CSR assembly (each unique edge appears in both endpoints' rows).
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (const auto& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (NodeId i = 0; i < num_nodes; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.nbr_.resize(g.offsets_[num_nodes]);
+  g.inc_.resize(g.offsets_[num_nodes]);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId idx = 0; idx < g.edges_.size(); ++idx) {
+    const Edge& e = g.edges_[idx];
+    g.nbr_[cursor[e.u]] = e.v;
+    g.inc_[cursor[e.u]++] = idx;
+    g.nbr_[cursor[e.v]] = e.u;
+    g.inc_[cursor[e.v]++] = idx;
+  }
+
+  g.wdeg_.assign(num_nodes, 0.0);
+  for (const auto& e : g.edges_) {
+    g.wdeg_[e.u] += e.w;
+    g.wdeg_[e.v] += e.w;
+  }
+  return g;
+}
+
+double CsrGraph::average_degree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) /
+         static_cast<double>(num_nodes_);
+}
+
+double CsrGraph::total_weight() const {
+  double s = 0.0;
+  for (const auto& e : edges_) s += e.w;
+  return s;
+}
+
+std::pair<std::vector<NodeId>, NodeId> CsrGraph::connected_components() const {
+  std::vector<NodeId> label(num_nodes_, num_nodes_);
+  NodeId next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < num_nodes_; ++s) {
+    if (label[s] != num_nodes_) continue;
+    label[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : neighbors(u)) {
+        if (label[v] == num_nodes_) {
+          label[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return {std::move(label), next};
+}
+
+bool CsrGraph::is_connected() const {
+  if (num_nodes_ <= 1) return true;
+  return connected_components().second == 1;
+}
+
+}  // namespace sgm::graph

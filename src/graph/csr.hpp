@@ -1,0 +1,70 @@
+#pragma once
+// Weighted undirected graph in compressed-sparse-row form.
+//
+// The graph is the probabilistic graphical model (PGM) of the paper: nodes
+// are collocation points, edge weights encode conditional dependence
+// (inverse distance on the kNN graph). Unique edges are stored once
+// (u < v); the CSR adjacency references edges by index so per-edge
+// quantities (effective resistance, ISR scores) live in plain arrays.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sgm::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double w = 1.0;
+};
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list over `num_nodes` nodes. Self-loops are
+  /// dropped; duplicate (u,v) pairs have their weights summed. Weights must
+  /// be positive.
+  static CsrGraph from_edges(NodeId num_nodes, std::vector<Edge> edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Neighbor node ids of `u`.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {nbr_.data() + offsets_[u], nbr_.data() + offsets_[u + 1]};
+  }
+  /// Edge ids incident to `u`, aligned with neighbors(u).
+  std::span<const EdgeId> incident_edges(NodeId u) const {
+    return {inc_.data() + offsets_[u], inc_.data() + offsets_[u + 1]};
+  }
+
+  std::size_t degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+  double weighted_degree(NodeId u) const { return wdeg_[u]; }
+
+  double average_degree() const;
+  double total_weight() const;
+
+  /// Component label per node (0-based) and the number of components.
+  std::pair<std::vector<NodeId>, NodeId> connected_components() const;
+
+  /// True when every node is reachable from node 0 (or the graph is empty).
+  bool is_connected() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> offsets_;  // n+1
+  std::vector<NodeId> nbr_;
+  std::vector<EdgeId> inc_;
+  std::vector<double> wdeg_;
+};
+
+}  // namespace sgm::graph

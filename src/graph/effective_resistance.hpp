@@ -1,0 +1,56 @@
+#pragma once
+// Effective-resistance estimation (Definition 3.1 of the paper).
+//
+// All estimators produce an *embedding*: a matrix Z (n x t) such that
+// R_eff(u, v) ≈ || Z_u - Z_v ||^2 over rows. Working with embeddings (rather
+// than per-edge scalars) lets the LRD decomposition bound the resistance
+// diameter of merged clusters without re-solving.
+//
+// Back-ends:
+//  * kExact      — dense eigendecomposition, Z = U diag(lambda^-1/2); O(n^3),
+//                  tests and tiny graphs only.
+//  * kJlSolve    — Spielman–Srivastava: t = O(log n) random +-1 edge
+//                  combinations, each requiring one Laplacian PCG solve;
+//                  (1±eps) accurate with high probability.
+//  * kSmoothed   — HyperEF-style Krylov smoothing: t random vectors smoothed
+//                  by a few Jacobi iterations, orthogonalized to the constant
+//                  vector. No linear solves; nearly-linear time. This is the
+//                  scalable path referenced in Section 3.3 of the paper and
+//                  the default inside LRD. It produces *relative* (rank-
+//                  preserving) rather than calibrated estimates.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace sgm::graph {
+
+enum class ErMethod { kExact, kJlSolve, kSmoothed };
+
+struct ErOptions {
+  ErMethod method = ErMethod::kSmoothed;
+  int num_vectors = 12;        ///< t: embedding width (kJlSolve / kSmoothed)
+  int smoothing_iterations = 40;  ///< Jacobi sweeps for kSmoothed
+  double cg_rel_tol = 1e-6;    ///< PCG tolerance for kJlSolve
+  int cg_max_iterations = 1000;
+  std::uint64_t seed = 1234;
+};
+
+/// Embedding Z with rows as node coordinates; see file comment.
+tensor::Matrix effective_resistance_embedding(const CsrGraph& g,
+                                              const ErOptions& options);
+
+/// R(u,v) read off an embedding.
+double er_from_embedding(const tensor::Matrix& z, NodeId u, NodeId v);
+
+/// Per-unique-edge effective resistances from an embedding, aligned with
+/// g.edges().
+std::vector<double> edge_effective_resistance(const CsrGraph& g,
+                                              const tensor::Matrix& z);
+
+/// Exact effective resistance between two nodes via dense pseudo-inverse
+/// (test helper; O(n^3)).
+double exact_effective_resistance(const CsrGraph& g, NodeId u, NodeId v);
+
+}  // namespace sgm::graph

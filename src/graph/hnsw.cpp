@@ -1,0 +1,249 @@
+#include "graph/hnsw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace sgm::graph {
+
+using tensor::Matrix;
+
+HnswIndex::HnswIndex(const Matrix& points, const HnswOptions& options)
+    : n_(points.rows()), d_(points.cols()), opt_(options), pts_(points) {
+  if (opt_.m < 2) throw std::invalid_argument("HnswIndex: m must be >= 2");
+  levels_.resize(n_, 0);
+  adj_.resize(n_);
+  visit_mark_.assign(n_, 0);
+  if (n_ == 0) return;
+
+  util::Rng rng(opt_.seed);
+  const double ml = 1.0 / std::log(static_cast<double>(opt_.m));
+
+  // Node 0 seeds the structure at level 0.
+  levels_[0] = 0;
+  adj_[0].resize(1);
+  entry_ = 0;
+  max_level_ = 0;
+
+  for (NodeId i = 1; i < n_; ++i) {
+    // Exponentially distributed level (the classic HNSW assignment).
+    double u = rng.uniform();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    const int level = static_cast<int>(-std::log(u) * ml);
+    levels_[i] = level;
+    adj_[i].resize(level + 1);
+
+    const double* q = pts_.row(i);
+    NodeId ep = greedy_descend(q, entry_, max_level_, level + 1);
+    for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
+      auto cands = search_layer(q, ep, opt_.ef_construction, lc, -1);
+      connect(i, lc, cands);
+      if (!cands.empty()) ep = cands.front().id;
+    }
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_ = i;
+    }
+  }
+}
+
+double HnswIndex::dist2(const double* a, NodeId b) const {
+  const double* pb = pts_.row(b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < d_; ++i) {
+    const double t = a[i] - pb[i];
+    s += t * t;
+  }
+  return s;
+}
+
+std::vector<NodeId>& HnswIndex::neighbors(NodeId node, int level) {
+  return adj_[node][level];
+}
+const std::vector<NodeId>& HnswIndex::neighbors(NodeId node, int level) const {
+  return adj_[node][level];
+}
+
+NodeId HnswIndex::greedy_descend(const double* q, NodeId entry, int from_level,
+                                 int to_level) const {
+  NodeId cur = entry;
+  double cur_d = dist2(q, cur);
+  for (int level = from_level; level >= to_level; --level) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      if (level >= static_cast<int>(adj_[cur].size())) break;
+      for (NodeId nb : neighbors(cur, level)) {
+        const double d = dist2(q, nb);
+        if (d < cur_d) {
+          cur_d = d;
+          cur = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<HnswIndex::SearchCandidate> HnswIndex::search_layer(
+    const double* q, NodeId entry, std::size_t ef, int level,
+    std::int64_t exclude) const {
+  ++visit_epoch_;
+  if (visit_epoch_ == 0) {  // wrapped: reset marks
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
+    visit_epoch_ = 1;
+  }
+
+  // to_visit: min-heap by distance; best: max-heap of current ef best.
+  std::priority_queue<SearchCandidate, std::vector<SearchCandidate>,
+                      std::greater<SearchCandidate>>
+      to_visit;
+  std::priority_queue<SearchCandidate> best;
+
+  const double ed = dist2(q, entry);
+  to_visit.push({ed, entry});
+  visit_mark_[entry] = visit_epoch_;
+  if (static_cast<std::int64_t>(entry) != exclude) best.push({ed, entry});
+
+  while (!to_visit.empty()) {
+    const SearchCandidate c = to_visit.top();
+    to_visit.pop();
+    if (best.size() >= ef && c.d2 > best.top().d2) break;
+    if (level >= static_cast<int>(adj_[c.id].size())) continue;
+    for (NodeId nb : neighbors(c.id, level)) {
+      if (visit_mark_[nb] == visit_epoch_) continue;
+      visit_mark_[nb] = visit_epoch_;
+      const double d = dist2(q, nb);
+      if (best.size() < ef || d < best.top().d2) {
+        to_visit.push({d, nb});
+        if (static_cast<std::int64_t>(nb) != exclude) {
+          best.push({d, nb});
+          if (best.size() > ef) best.pop();
+        }
+      }
+    }
+  }
+
+  std::vector<SearchCandidate> out(best.size());
+  for (std::size_t i = out.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;  // ascending by distance
+}
+
+void HnswIndex::connect(NodeId node, int level,
+                        const std::vector<SearchCandidate>& candidates) {
+  // Simple neighbor selection: closest M. (The original paper's heuristic
+  // prunes dominated candidates; closest-M keeps recall high on the smooth
+  // low-dimensional clouds PINNs use.)
+  const std::size_t m_max = level == 0 ? 2 * opt_.m : opt_.m;
+  auto& mine = neighbors(node, level);
+  for (const auto& c : candidates) {
+    if (c.id == node) continue;
+    if (mine.size() >= m_max) break;
+    mine.push_back(c.id);
+    auto& theirs = neighbors(c.id, level);
+    theirs.push_back(node);
+    if (theirs.size() > m_max) {
+      // Evict the farthest neighbor of c.id to respect the degree bound.
+      const double* pc = pts_.row(c.id);
+      std::size_t worst = 0;
+      double worst_d = -1.0;
+      for (std::size_t t = 0; t < theirs.size(); ++t) {
+        const double d = dist2(pc, theirs[t]);
+        if (d > worst_d) {
+          worst_d = d;
+          worst = t;
+        }
+      }
+      theirs.erase(theirs.begin() + static_cast<std::ptrdiff_t>(worst));
+    }
+  }
+}
+
+KnnResult HnswIndex::query(const double* query, std::size_t k) const {
+  KnnResult r;
+  if (n_ == 0 || k == 0) return r;
+  const NodeId ep = greedy_descend(query, entry_, max_level_, 1);
+  auto cands =
+      search_layer(query, ep, std::max(opt_.ef_search, k), 0, -1);
+  const std::size_t take = std::min(k, cands.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    r.index.push_back(cands[i].id);
+    r.dist2.push_back(cands[i].d2);
+  }
+  return r;
+}
+
+KnnResult HnswIndex::query_point(NodeId i, std::size_t k) const {
+  KnnResult r;
+  if (n_ == 0 || k == 0) return r;
+  const double* q = pts_.row(i);
+  const NodeId ep = greedy_descend(q, entry_, max_level_, 1);
+  auto cands = search_layer(q, ep, std::max(opt_.ef_search, k + 1), 0,
+                            static_cast<std::int64_t>(i));
+  const std::size_t take = std::min(k, cands.size());
+  for (std::size_t t = 0; t < take; ++t) {
+    r.index.push_back(cands[t].id);
+    r.dist2.push_back(cands[t].d2);
+  }
+  return r;
+}
+
+CsrGraph build_knn_graph_hnsw(const Matrix& points,
+                              const KnnGraphOptions& graph_options,
+                              const HnswOptions& hnsw_options) {
+  const std::size_t n = points.rows();
+  if (n == 0) return CsrGraph();
+  const std::size_t k = std::min(graph_options.k, n - 1);
+  HnswIndex index(points, hnsw_options);
+
+  double mean_dist = 0.0;
+  std::size_t count = 0;
+  std::vector<KnnResult> nn(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nn[i] = index.query_point(static_cast<NodeId>(i), k);
+    for (double d2v : nn[i].dist2) {
+      mean_dist += std::sqrt(d2v);
+      ++count;
+    }
+  }
+  if (count) mean_dist /= static_cast<double>(count);
+  const double sigma = mean_dist > 0 ? mean_dist : 1.0;
+
+  std::vector<Edge> edges;
+  edges.reserve(n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < nn[i].index.size(); ++t) {
+      const double dv = std::sqrt(nn[i].dist2[t]);
+      double w = 1.0;
+      switch (graph_options.weight) {
+        case KnnWeight::kUnit: w = 1.0; break;
+        case KnnWeight::kInverse:
+          w = 1.0 / (dv + graph_options.inverse_eps);
+          break;
+        case KnnWeight::kGauss:
+          w = std::exp(-nn[i].dist2[t] / (2.0 * sigma * sigma));
+          break;
+      }
+      edges.push_back({static_cast<NodeId>(i), nn[i].index[t], w});
+    }
+  }
+  for (auto& e : edges)
+    if (e.u > e.v) std::swap(e.u, e.v);
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.u == b.u && a.v == b.v;
+                          }),
+              edges.end());
+  return CsrGraph::from_edges(static_cast<NodeId>(n), std::move(edges));
+}
+
+}  // namespace sgm::graph

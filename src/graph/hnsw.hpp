@@ -1,0 +1,73 @@
+#pragma once
+// Hierarchical Navigable Small World approximate nearest-neighbor index
+// (Malkov & Yashunin, TPAMI 2018) — the kNN backend the paper uses for S1 on
+// multi-million-point clouds. Exact back-ends are in graph/knn.hpp; this one
+// trades a little recall for O(N log N) construction at scale.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knn.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace sgm::graph {
+
+struct HnswOptions {
+  std::size_t m = 16;                ///< max neighbors per node per layer
+  std::size_t ef_construction = 100; ///< beam width while inserting
+  std::size_t ef_search = 64;        ///< beam width while querying
+  std::uint64_t seed = 42;           ///< level assignment randomness
+};
+
+class HnswIndex {
+ public:
+  /// Builds the index over the rows of `points` (copied).
+  HnswIndex(const tensor::Matrix& points, const HnswOptions& options);
+
+  /// Approximate k nearest neighbors of an arbitrary query vector.
+  KnnResult query(const double* query, std::size_t k) const;
+
+  /// Approximate k nearest neighbors of indexed point `i`, excluding `i`.
+  KnnResult query_point(NodeId i, std::size_t k) const;
+
+  std::size_t size() const { return n_; }
+  std::size_t max_level() const { return levels_.empty() ? 0 : max_level_; }
+
+ private:
+  struct SearchCandidate {
+    double d2;
+    NodeId id;
+    bool operator<(const SearchCandidate& o) const { return d2 < o.d2; }
+    bool operator>(const SearchCandidate& o) const { return d2 > o.d2; }
+  };
+
+  double dist2(const double* a, NodeId b) const;
+  NodeId greedy_descend(const double* q, NodeId entry, int from_level,
+                        int to_level) const;
+  std::vector<SearchCandidate> search_layer(const double* q, NodeId entry,
+                                            std::size_t ef, int level,
+                                            std::int64_t exclude) const;
+  void connect(NodeId node, int level,
+               const std::vector<SearchCandidate>& candidates);
+  std::vector<NodeId>& neighbors(NodeId node, int level);
+  const std::vector<NodeId>& neighbors(NodeId node, int level) const;
+
+  std::size_t n_ = 0, d_ = 0;
+  HnswOptions opt_;
+  tensor::Matrix pts_;
+  std::vector<int> levels_;                     // per node top level
+  std::vector<std::vector<std::vector<NodeId>>> adj_;  // [node][level]
+  NodeId entry_ = 0;
+  int max_level_ = 0;
+  mutable std::vector<std::uint32_t> visit_mark_;
+  mutable std::uint32_t visit_epoch_ = 0;
+};
+
+/// Builds an undirected kNN PGM using HNSW search (approximate analogue of
+/// build_knn_graph).
+CsrGraph build_knn_graph_hnsw(const tensor::Matrix& points,
+                              const KnnGraphOptions& graph_options,
+                              const HnswOptions& hnsw_options);
+
+}  // namespace sgm::graph

@@ -1,0 +1,214 @@
+#include "graph/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sgm::graph {
+
+using tensor::Matrix;
+
+namespace {
+inline double dist2(const double* a, const double* b, std::size_t d) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double t = a[i] - b[i];
+    s += t * t;
+  }
+  return s;
+}
+
+// Max-heap on (dist2, index): keeps the k best seen so far.
+inline void heap_push(std::vector<std::pair<double, NodeId>>& heap,
+                      std::size_t k, double d2, NodeId idx) {
+  if (heap.size() < k) {
+    heap.emplace_back(d2, idx);
+    std::push_heap(heap.begin(), heap.end());
+  } else if (d2 < heap.front().first) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = {d2, idx};
+    std::push_heap(heap.begin(), heap.end());
+  }
+}
+
+KnnResult heap_to_result(std::vector<std::pair<double, NodeId>> heap) {
+  std::sort_heap(heap.begin(), heap.end());
+  KnnResult r;
+  r.index.reserve(heap.size());
+  r.dist2.reserve(heap.size());
+  for (const auto& [d2, idx] : heap) {
+    r.index.push_back(idx);
+    r.dist2.push_back(d2);
+  }
+  return r;
+}
+}  // namespace
+
+KdTree::KdTree(const Matrix& points)
+    : n_(points.rows()), d_(points.cols()), pts_(points) {
+  if (d_ == 0) throw std::invalid_argument("KdTree: dimension must be >= 1");
+  order_.resize(n_);
+  std::iota(order_.begin(), order_.end(), NodeId{0});
+  if (n_ > 0) build(0, static_cast<std::uint32_t>(n_), 0);
+}
+
+std::int32_t KdTree::build(std::uint32_t begin, std::uint32_t end, int depth) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  const std::int32_t id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  if (end - begin <= kLeafSize) {
+    nodes_[id].leaf = true;
+    return id;
+  }
+  // Split on the axis of largest spread for better balance than cycling.
+  std::uint16_t best_axis = 0;
+  double best_spread = -1.0;
+  for (std::size_t ax = 0; ax < d_; ++ax) {
+    double lo = pts_(order_[begin], ax), hi = lo;
+    for (std::uint32_t i = begin + 1; i < end; ++i) {
+      const double v = pts_(order_[i], ax);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_axis = static_cast<std::uint16_t>(ax);
+    }
+  }
+  if (best_spread <= 0.0) {  // all points identical on every axis
+    nodes_[id].leaf = true;
+    return id;
+  }
+  const std::uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](NodeId a, NodeId b) {
+                     return pts_(a, best_axis) < pts_(b, best_axis);
+                   });
+  nodes_[id].axis = best_axis;
+  nodes_[id].split = pts_(order_[mid], best_axis);
+  const std::int32_t l = build(begin, mid, depth + 1);
+  const std::int32_t r = build(mid, end, depth + 1);
+  nodes_[id].left = l;
+  nodes_[id].right = r;
+  return id;
+}
+
+void KdTree::search(std::int32_t node, const double* q, std::size_t k,
+                    std::int64_t exclude,
+                    std::vector<std::pair<double, NodeId>>& heap) const {
+  const Node& nd = nodes_[node];
+  if (nd.leaf) {
+    for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
+      const NodeId idx = order_[i];
+      if (static_cast<std::int64_t>(idx) == exclude) continue;
+      heap_push(heap, k, dist2(q, pts_.row(idx), d_), idx);
+    }
+    return;
+  }
+  const double delta = q[nd.axis] - nd.split;
+  const std::int32_t near = delta <= 0.0 ? nd.left : nd.right;
+  const std::int32_t far = delta <= 0.0 ? nd.right : nd.left;
+  search(near, q, k, exclude, heap);
+  const double worst =
+      heap.size() < k ? std::numeric_limits<double>::infinity()
+                      : heap.front().first;
+  if (delta * delta <= worst) search(far, q, k, exclude, heap);
+}
+
+KnnResult KdTree::query(const double* query, std::size_t k) const {
+  std::vector<std::pair<double, NodeId>> heap;
+  heap.reserve(k + 1);
+  if (n_ > 0 && k > 0) search(0, query, k, -1, heap);
+  return heap_to_result(std::move(heap));
+}
+
+KnnResult KdTree::query_point(NodeId i, std::size_t k) const {
+  std::vector<std::pair<double, NodeId>> heap;
+  heap.reserve(k + 1);
+  if (n_ > 0 && k > 0)
+    search(0, pts_.row(i), k, static_cast<std::int64_t>(i), heap);
+  return heap_to_result(std::move(heap));
+}
+
+KnnResult knn_brute_force(const Matrix& points, const double* query,
+                          std::size_t k, std::int64_t exclude) {
+  std::vector<std::pair<double, NodeId>> heap;
+  heap.reserve(k + 1);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    if (static_cast<std::int64_t>(i) == exclude) continue;
+    heap_push(heap, k, dist2(query, points.row(i), points.cols()),
+              static_cast<NodeId>(i));
+  }
+  return heap_to_result(std::move(heap));
+}
+
+CsrGraph build_knn_graph(const Matrix& points, const KnnGraphOptions& options) {
+  const std::size_t n = points.rows();
+  if (n == 0) return CsrGraph();
+  const std::size_t k = std::min(options.k, n - 1);
+  KdTree tree(points);
+
+  // Directed candidate lists; symmetrized below.
+  std::vector<KnnResult> nn(n);
+  double mean_dist = 0.0;
+  std::size_t dist_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    nn[i] = tree.query_point(static_cast<NodeId>(i), k);
+    for (double d2v : nn[i].dist2) {
+      mean_dist += std::sqrt(d2v);
+      ++dist_count;
+    }
+  }
+  if (dist_count > 0) mean_dist /= static_cast<double>(dist_count);
+  const double sigma = mean_dist > 0 ? mean_dist : 1.0;
+
+  auto weight_of = [&](double d2v) {
+    const double d = std::sqrt(d2v);
+    switch (options.weight) {
+      case KnnWeight::kUnit: return 1.0;
+      case KnnWeight::kInverse: return 1.0 / (d + options.inverse_eps);
+      case KnnWeight::kGauss: return std::exp(-d2v / (2.0 * sigma * sigma));
+    }
+    return 1.0;
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(n * k);
+  if (options.mutual) {
+    // Keep (i,j) only when j in kNN(i) AND i in kNN(j).
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t t = 0; t < nn[i].index.size(); ++t) {
+        const NodeId j = nn[i].index[t];
+        if (j <= i) continue;  // handle each unordered pair once
+        const auto& back = nn[j].index;
+        if (std::find(back.begin(), back.end(), static_cast<NodeId>(i)) !=
+            back.end())
+          edges.push_back({static_cast<NodeId>(i), j,
+                           weight_of(nn[i].dist2[t])});
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t t = 0; t < nn[i].index.size(); ++t)
+        edges.push_back({static_cast<NodeId>(i), nn[i].index[t],
+                         weight_of(nn[i].dist2[t])});
+  }
+  // from_edges merges duplicates by *summing*; halve symmetric duplicates by
+  // pre-deduplicating instead, so union edges keep their single weight.
+  for (auto& e : edges)
+    if (e.u > e.v) std::swap(e.u, e.v);
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.u == b.u && a.v == b.v;
+                          }),
+              edges.end());
+  return CsrGraph::from_edges(static_cast<NodeId>(n), std::move(edges));
+}
+
+}  // namespace sgm::graph

@@ -1,0 +1,86 @@
+#pragma once
+// Exact k-nearest-neighbor search and kNN-graph (PGM) construction — stage
+// S1 of the SGM-PINN pipeline.
+//
+// Two exact back-ends are provided: a kd-tree (default; O(N log N) build,
+// near-O(log N) queries in the low spatial dimensions PINN point clouds
+// live in) and a brute-force scan used as the ground truth in tests. The
+// approximate HNSW back-end lives in graph/hnsw.hpp.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace sgm::graph {
+
+/// Result of a k-NN query: neighbor indices with squared distances,
+/// ascending by distance.
+struct KnnResult {
+  std::vector<NodeId> index;
+  std::vector<double> dist2;
+};
+
+/// Exact kd-tree over the rows of a point matrix (n x d).
+class KdTree {
+ public:
+  /// Builds over `points` (which is copied). d must be >= 1.
+  explicit KdTree(const tensor::Matrix& points);
+
+  /// k nearest neighbors of `query` (not excluding any index).
+  KnnResult query(const double* query, std::size_t k) const;
+
+  /// k nearest neighbors of point `i`, excluding `i` itself.
+  KnnResult query_point(NodeId i, std::size_t k) const;
+
+  std::size_t size() const { return n_; }
+  std::size_t dim() const { return d_; }
+
+ private:
+  struct Node {
+    std::int32_t left = -1, right = -1;
+    std::uint32_t begin = 0, end = 0;  // leaf range into order_
+    std::uint16_t axis = 0;
+    bool leaf = false;
+    double split = 0.0;
+  };
+
+  std::int32_t build(std::uint32_t begin, std::uint32_t end, int depth);
+  void search(std::int32_t node, const double* q, std::size_t k,
+              std::int64_t exclude, std::vector<std::pair<double, NodeId>>& heap) const;
+
+  std::size_t n_ = 0, d_ = 0;
+  tensor::Matrix pts_;
+  std::vector<NodeId> order_;
+  std::vector<Node> nodes_;
+  static constexpr std::uint32_t kLeafSize = 16;
+};
+
+/// Brute-force exact k-NN (reference implementation for tests).
+KnnResult knn_brute_force(const tensor::Matrix& points, const double* query,
+                          std::size_t k, std::int64_t exclude = -1);
+
+/// How kNN edge weights encode conditional dependence.
+enum class KnnWeight {
+  kUnit,     ///< w = 1
+  kInverse,  ///< w = 1 / (dist + eps)   (paper: inverse distance)
+  kGauss,    ///< w = exp(-dist^2 / (2 sigma^2)), sigma = mean kNN distance
+};
+
+struct KnnGraphOptions {
+  std::size_t k = 10;
+  KnnWeight weight = KnnWeight::kInverse;
+  double inverse_eps = 1e-12;
+  /// When true, keep only the mutual-kNN symmetrization; otherwise the union
+  /// (a directed edge either way becomes one undirected edge). Union is the
+  /// default — it keeps the PGM connected at small k.
+  bool mutual = false;
+};
+
+/// Builds the undirected kNN PGM over rows of `points` (n x d).
+CsrGraph build_knn_graph(const tensor::Matrix& points,
+                         const KnnGraphOptions& options);
+
+}  // namespace sgm::graph

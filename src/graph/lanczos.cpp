@@ -1,0 +1,153 @@
+#include "graph/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sgm::graph {
+
+using tensor::Matrix;
+
+EigenPairs jacobi_eigensymm(const Matrix& a, double tol, int max_sweeps) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("jacobi_eigensymm: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  Matrix v = tensor::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    if (std::sqrt(2.0 * off) <= tol * (1.0 + m.max_abs())) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m(p, p), aqq = m(q, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mip = m(i, p), miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mpi = m(p, i), mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return m(i, i) < m(j, j); });
+
+  EigenPairs out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = m(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+EigenPairs lanczos(const std::function<void(const Vec&, Vec&)>& apply,
+                   std::size_t n, const LanczosOptions& options) {
+  if (n == 0) return {};
+  const int m_max =
+      std::min<int>(options.max_iterations, static_cast<int>(n));
+  const int want = std::min<int>(options.num_eigenpairs, static_cast<int>(n));
+
+  util::Rng rng(options.seed);
+  std::vector<Vec> basis;  // orthonormal Lanczos vectors
+  std::vector<double> alpha, beta;
+
+  Vec q(n);
+  for (auto& x : q) x = rng.normal();
+  double qn = norm2(q);
+  for (auto& x : q) x /= qn;
+  basis.push_back(q);
+
+  Vec w(n);
+  for (int j = 0; j < m_max; ++j) {
+    apply(basis[j], w);
+    const double a = dot(basis[j], w);
+    alpha.push_back(a);
+    // w -= alpha_j q_j + beta_{j-1} q_{j-1}; then full reorthogonalization.
+    for (std::size_t i = 0; i < n; ++i) w[i] -= a * basis[j][i];
+    if (j > 0)
+      for (std::size_t i = 0; i < n; ++i) w[i] -= beta[j - 1] * basis[j - 1][i];
+    for (const auto& qb : basis) {
+      const double c = dot(qb, w);
+      for (std::size_t i = 0; i < n; ++i) w[i] -= c * qb[i];
+    }
+    const double b = norm2(w);
+    if (b < 1e-12 || j + 1 == m_max) {
+      if (b >= 1e-12) beta.push_back(b);
+      break;
+    }
+    beta.push_back(b);
+    Vec next(n);
+    for (std::size_t i = 0; i < n; ++i) next[i] = w[i] / b;
+    basis.push_back(std::move(next));
+  }
+
+  // Tridiagonal Rayleigh–Ritz via the dense Jacobi solver.
+  const std::size_t m = basis.size();
+  Matrix t(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    t(i, i) = alpha[i];
+    if (i + 1 < m) {
+      t(i, i + 1) = beta[i];
+      t(i + 1, i) = beta[i];
+    }
+  }
+  EigenPairs ritz = jacobi_eigensymm(t);
+
+  // Pick the requested extreme; assemble Ritz vectors in original space.
+  std::vector<std::size_t> picks;
+  if (options.largest) {
+    for (std::size_t j = m; j-- > 0 && picks.size() < std::size_t(want);)
+      picks.push_back(j);
+  } else {
+    for (std::size_t j = 0; j < m && picks.size() < std::size_t(want); ++j)
+      picks.push_back(j);
+  }
+  std::sort(picks.begin(), picks.end(), [&](std::size_t a2, std::size_t b2) {
+    return ritz.values[a2] < ritz.values[b2];
+  });
+
+  EigenPairs out;
+  out.values.reserve(picks.size());
+  out.vectors = Matrix(n, picks.size());
+  for (std::size_t c = 0; c < picks.size(); ++c) {
+    const std::size_t j = picks[c];
+    out.values.push_back(ritz.values[j]);
+    for (std::size_t row = 0; row < n; ++row) {
+      double s = 0.0;
+      for (std::size_t l = 0; l < m; ++l)
+        s += basis[l][row] * ritz.vectors(l, j);
+      out.vectors(row, c) = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace sgm::graph

@@ -1,0 +1,44 @@
+#pragma once
+// Symmetric eigensolvers:
+//  * dense Jacobi rotation eigensolver — exact, O(n^3), used on small dense
+//    matrices (Rayleigh–Ritz projections, exact effective resistance in
+//    tests);
+//  * Lanczos with full reorthogonalization — extremal eigenpairs of a
+//    matrix-free symmetric operator (graph Laplacians, L_Y^+ L_X pencils).
+
+#include <functional>
+#include <vector>
+
+#include "graph/laplacian.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace sgm::graph {
+
+struct EigenPairs {
+  /// Ascending eigenvalues.
+  std::vector<double> values;
+  /// Column i of `vectors` is the eigenvector for values[i].
+  tensor::Matrix vectors;
+};
+
+/// Dense symmetric eigendecomposition by cyclic Jacobi rotations.
+/// `a` must be symmetric; returns all n eigenpairs, values ascending.
+EigenPairs jacobi_eigensymm(const tensor::Matrix& a, double tol = 1e-12,
+                            int max_sweeps = 100);
+
+struct LanczosOptions {
+  int num_eigenpairs = 6;
+  int max_iterations = 200;     ///< Krylov dimension cap
+  double tol = 1e-8;            ///< residual tolerance on Ritz pairs
+  std::uint64_t seed = 7;       ///< start-vector randomness
+  bool largest = true;          ///< largest (true) or smallest eigenvalues
+};
+
+/// Lanczos on a symmetric operator y = A x of dimension n.
+/// Full reorthogonalization keeps the basis numerically orthogonal (the
+/// Krylov dimensions used here are small, so the O(m^2 n) cost is fine).
+EigenPairs lanczos(const std::function<void(const Vec&, Vec&)>& apply,
+                   std::size_t n, const LanczosOptions& options);
+
+}  // namespace sgm::graph

@@ -1,0 +1,56 @@
+#include "graph/laplacian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::graph {
+
+void laplacian_apply(const CsrGraph& g, const Vec& x, Vec& y) {
+  const std::size_t n = g.num_nodes();
+  if (x.size() != n) throw std::invalid_argument("laplacian_apply: size");
+  y.assign(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto eids = g.incident_edges(u);
+    double acc = g.weighted_degree(u) * x[u];
+    for (std::size_t t = 0; t < nbrs.size(); ++t)
+      acc -= g.edge(eids[t]).w * x[nbrs[t]];
+    y[u] = acc;
+  }
+}
+
+Vec laplacian_diagonal(const CsrGraph& g) {
+  Vec d(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) d[u] = g.weighted_degree(u);
+  return d;
+}
+
+tensor::Matrix laplacian_dense(const CsrGraph& g) {
+  const std::size_t n = g.num_nodes();
+  tensor::Matrix l(n, n);
+  for (const auto& e : g.edges()) {
+    l(e.u, e.u) += e.w;
+    l(e.v, e.v) += e.w;
+    l(e.u, e.v) -= e.w;
+    l(e.v, e.u) -= e.w;
+  }
+  return l;
+}
+
+void deflate_constant(Vec& x) {
+  if (x.empty()) return;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+double dot(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace sgm::graph

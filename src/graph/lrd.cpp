@@ -1,0 +1,133 @@
+#include "graph/lrd.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sgm::graph {
+
+std::vector<std::vector<NodeId>> Clustering::members() const {
+  std::vector<std::vector<NodeId>> m(num_clusters);
+  for (NodeId v = 0; v < node_cluster.size(); ++v)
+    m[node_cluster[v]].push_back(v);
+  return m;
+}
+
+std::vector<std::uint32_t> Clustering::sizes() const {
+  std::vector<std::uint32_t> s(num_clusters, 0);
+  for (NodeId c : node_cluster) ++s[c];
+  return s;
+}
+
+namespace {
+
+/// Union-find with per-root resistance-diameter bound and size.
+struct MergeForest {
+  std::vector<NodeId> parent;
+  std::vector<NodeId> rank;
+  std::vector<double> diameter;
+  std::vector<std::uint32_t> size;
+
+  explicit MergeForest(NodeId n)
+      : parent(n), rank(n, 0), diameter(n, 0.0), size(n, 1) {
+    std::iota(parent.begin(), parent.end(), NodeId{0});
+  }
+
+  NodeId find(NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  /// Merge roots a, b across an edge of resistance `er`; the caller has
+  /// already verified the budget.
+  void unite(NodeId a, NodeId b, double er) {
+    const double d = diameter[a] + diameter[b] + er;
+    const std::uint32_t s = size[a] + size[b];
+    if (rank[a] < rank[b]) std::swap(a, b);
+    parent[b] = a;
+    if (rank[a] == rank[b]) ++rank[a];
+    diameter[a] = d;
+    size[a] = s;
+  }
+};
+
+}  // namespace
+
+Clustering lrd_decompose_with_embedding(const CsrGraph& g,
+                                        const tensor::Matrix& embedding,
+                                        const LrdOptions& options) {
+  const NodeId n = g.num_nodes();
+  Clustering out;
+  if (n == 0) return out;
+  if (options.levels < 1)
+    throw std::invalid_argument("lrd_decompose: levels must be >= 1");
+
+  std::vector<double> er = edge_effective_resistance(g, embedding);
+
+  // Edges sorted ascending by estimated ER: strongest conditional
+  // dependence first.
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](EdgeId a, EdgeId b) { return er[a] < er[b]; });
+
+  double mean_er = 0.0;
+  for (double r : er) mean_er += r;
+  if (!er.empty()) mean_er /= static_cast<double>(er.size());
+
+  const double budget =
+      options.diameter_budget > 0.0
+          ? options.diameter_budget
+          : options.budget_scale * mean_er * static_cast<double>(options.levels);
+
+  MergeForest forest(n);
+
+  // Level l admits edges up to the (l/levels)-quantile of the ER order and
+  // up to a proportional share of the final diameter budget. Later levels
+  // therefore coarsen progressively, mirroring HyperEF's level loop.
+  const std::size_t m = order.size();
+  for (int level = 1; level <= options.levels; ++level) {
+    const std::size_t hi =
+        (m * static_cast<std::size_t>(level)) /
+        static_cast<std::size_t>(options.levels);
+    const double level_budget =
+        budget * static_cast<double>(level) / options.levels;
+    for (std::size_t t = 0; t < hi; ++t) {
+      const EdgeId e = order[t];
+      NodeId ra = forest.find(g.edge(e).u);
+      NodeId rb = forest.find(g.edge(e).v);
+      if (ra == rb) continue;
+      if (forest.diameter[ra] + forest.diameter[rb] + er[e] > level_budget)
+        continue;
+      if (options.max_cluster_size > 0 &&
+          forest.size[ra] + forest.size[rb] > options.max_cluster_size)
+        continue;
+      forest.unite(ra, rb, er[e]);
+    }
+  }
+
+  // Compact root ids to [0, num_clusters).
+  out.node_cluster.assign(n, 0);
+  std::vector<NodeId> root_to_cluster(n, n);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId r = forest.find(v);
+    if (root_to_cluster[r] == n) {
+      root_to_cluster[r] = next++;
+      out.cluster_diameter.push_back(forest.diameter[r]);
+    }
+    out.node_cluster[v] = root_to_cluster[r];
+  }
+  out.num_clusters = next;
+  return out;
+}
+
+Clustering lrd_decompose(const CsrGraph& g, const LrdOptions& options) {
+  const tensor::Matrix z = effective_resistance_embedding(g, options.er);
+  return lrd_decompose_with_embedding(g, z, options);
+}
+
+}  // namespace sgm::graph

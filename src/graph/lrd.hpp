@@ -1,0 +1,59 @@
+#pragma once
+// Low-resistance-diameter (LRD) decomposition — stage S2 of SGM-PINN.
+//
+// Partitions the PGM into clusters whose effective-resistance diameter is
+// bounded, so each cluster groups only strongly conditionally-dependent
+// samples (Alev, Anari, Lau & Oveis Gharan, ITCS 2018 prove such partitions
+// exist with diameter O(1/avg-degree) after removing a constant edge
+// fraction). The implementation follows the HyperEF (ICCAD 2022) shape the
+// paper builds on: L levels of contraction, each level merging the lowest-
+// effective-resistance edges first, subject to a per-cluster resistance-
+// diameter budget tracked through the merge tree:
+//     diam(C1 ∪ C2) <= diam(C1) + diam(C2) + R(e).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/effective_resistance.hpp"
+
+namespace sgm::graph {
+
+struct LrdOptions {
+  /// Number of contraction levels (the paper's hyperparameter "L";
+  /// LDC uses 10, the annular ring uses 6). More levels = coarser clusters.
+  int levels = 10;
+  /// Resistance-diameter budget per cluster. <= 0 selects the automatic
+  /// budget: budget_scale * (average edge ER) * levels.
+  double diameter_budget = 0.0;
+  double budget_scale = 1.0;
+  /// Hard cap on cluster size (0 = none). Guards against degenerate giant
+  /// clusters on highly irregular clouds.
+  std::size_t max_cluster_size = 0;
+  ErOptions er;  ///< effective-resistance estimator configuration
+};
+
+struct Clustering {
+  /// cluster id per node, in [0, num_clusters).
+  std::vector<NodeId> node_cluster;
+  NodeId num_clusters = 0;
+  /// Upper bound on the effective-resistance diameter of each cluster.
+  std::vector<double> cluster_diameter;
+
+  /// Member lists (computed on demand from node_cluster).
+  std::vector<std::vector<NodeId>> members() const;
+  /// Cluster sizes.
+  std::vector<std::uint32_t> sizes() const;
+};
+
+/// Decomposes `g` into LRD clusters. Deterministic for a fixed seed in
+/// `options.er`.
+Clustering lrd_decompose(const CsrGraph& g, const LrdOptions& options);
+
+/// Decompose using a precomputed ER embedding (lets callers reuse one
+/// embedding across LRD and diagnostics).
+Clustering lrd_decompose_with_embedding(const CsrGraph& g,
+                                        const tensor::Matrix& embedding,
+                                        const LrdOptions& options);
+
+}  // namespace sgm::graph

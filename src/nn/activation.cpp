@@ -1,0 +1,115 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::nn {
+
+namespace {
+inline double logistic(double x) {
+  // Numerically stable for large |x|.
+  if (x >= 0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+double Silu::eval(double x, int order) const {
+  const double s = logistic(x);
+  const double s1 = s * (1.0 - s);          // sigma'
+  const double s2 = s1 * (1.0 - 2.0 * s);   // sigma''
+  switch (order) {
+    case 0: return x * s;
+    case 1: return s + x * s1;
+    case 2: return 2.0 * s1 + x * s2;
+    case 3: {
+      const double s3 = s2 * (1.0 - 2.0 * s) - 2.0 * s1 * s1;  // sigma'''
+      return 3.0 * s2 + x * s3;
+    }
+    default:
+      throw std::invalid_argument("Silu: derivative order > 3 not supported");
+  }
+}
+
+double Tanh::eval(double x, int order) const {
+  const double f = std::tanh(x);
+  const double g = 1.0 - f * f;  // f'
+  switch (order) {
+    case 0: return f;
+    case 1: return g;
+    case 2: return -2.0 * f * g;
+    case 3: return -2.0 * g * (1.0 - 3.0 * f * f);
+    default:
+      throw std::invalid_argument("Tanh: derivative order > 3 not supported");
+  }
+}
+
+double Sigmoid::eval(double x, int order) const {
+  const double s = logistic(x);
+  const double s1 = s * (1.0 - s);
+  switch (order) {
+    case 0: return s;
+    case 1: return s1;
+    case 2: return s1 * (1.0 - 2.0 * s);
+    case 3: return s1 * (1.0 - 2.0 * s) * (1.0 - 2.0 * s) - 2.0 * s1 * s1;
+    default:
+      throw std::invalid_argument(
+          "Sigmoid: derivative order > 3 not supported");
+  }
+}
+
+double Sine::eval(double x, int order) const {
+  const double w = w0_;
+  const double a = w * x;
+  switch (order) {
+    case 0: return std::sin(a);
+    case 1: return w * std::cos(a);
+    case 2: return -w * w * std::sin(a);
+    case 3: return -w * w * w * std::cos(a);
+    default:
+      throw std::invalid_argument("Sine: derivative order > 3 not supported");
+  }
+}
+
+double Identity::eval(double x, int order) const {
+  switch (order) {
+    case 0: return x;
+    case 1: return 1.0;
+    default: return 0.0;
+  }
+}
+
+const Activation& silu() {
+  static const Silu a;
+  return a;
+}
+const Activation& tanh_act() {
+  static const Tanh a;
+  return a;
+}
+const Activation& sigmoid_act() {
+  static const Sigmoid a;
+  return a;
+}
+const Activation& sine_act() {
+  static const Sine a;
+  return a;
+}
+const Activation& identity_act() {
+  static const Identity a;
+  return a;
+}
+
+const Activation& activation_by_name(const std::string& name) {
+  if (name == "silu") return silu();
+  if (name == "tanh") return tanh_act();
+  if (name == "sigmoid") return sigmoid_act();
+  if (name == "sine") return sine_act();
+  if (name == "identity") return identity_act();
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+}  // namespace sgm::nn

@@ -1,0 +1,80 @@
+#include "nn/encoding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::nn {
+
+using tensor::Matrix;
+
+void IdentityEncoding::encode(const Matrix& x, int n_deriv, Matrix& e,
+                              std::vector<Matrix>& de,
+                              std::vector<Matrix>& d2e) const {
+  e = x;
+  de.assign(n_deriv, Matrix(x.rows(), x.cols()));
+  d2e.assign(n_deriv, Matrix(x.rows(), x.cols()));
+  for (int k = 0; k < n_deriv; ++k) {
+    for (std::size_t r = 0; r < x.rows(); ++r) de[k](r, k) = 1.0;
+  }
+}
+
+FourierEncoding::FourierEncoding(std::size_t input_dim, std::size_t n_freq,
+                                 double sigma, util::Rng& rng)
+    : b_(input_dim, n_freq) {
+  for (std::size_t i = 0; i < input_dim; ++i)
+    for (std::size_t j = 0; j < n_freq; ++j) b_(i, j) = rng.normal(0.0, sigma);
+}
+
+FourierEncoding::FourierEncoding(Matrix frequencies)
+    : b_(std::move(frequencies)) {
+  if (b_.rows() == 0 || b_.cols() == 0)
+    throw std::invalid_argument("FourierEncoding: empty frequency matrix");
+}
+
+std::size_t FourierEncoding::output_dim(std::size_t input_dim) const {
+  if (input_dim != b_.rows())
+    throw std::invalid_argument("FourierEncoding: input_dim mismatch");
+  return input_dim + 2 * b_.cols();
+}
+
+void FourierEncoding::encode(const Matrix& x, int n_deriv, Matrix& e,
+                             std::vector<Matrix>& de,
+                             std::vector<Matrix>& d2e) const {
+  if (x.cols() != b_.rows())
+    throw std::invalid_argument("FourierEncoding: batch width mismatch");
+  const std::size_t n = x.rows(), d = x.cols(), f = b_.cols();
+  const std::size_t out = d + 2 * f;
+  const Matrix phase = tensor::matmul(x, b_);  // n x f
+
+  e = Matrix(n, out);
+  de.assign(n_deriv, Matrix(n, out));
+  d2e.assign(n_deriv, Matrix(n, out));
+
+  for (std::size_t r = 0; r < n; ++r) {
+    // Pass-through block.
+    for (std::size_t c = 0; c < d; ++c) e(r, c) = x(r, c);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double p = phase(r, j);
+      e(r, d + j) = std::sin(p);
+      e(r, d + f + j) = std::cos(p);
+    }
+  }
+  for (int k = 0; k < n_deriv; ++k) {
+    Matrix& dk = de[k];
+    Matrix& hk = d2e[k];
+    for (std::size_t r = 0; r < n; ++r) {
+      dk(r, static_cast<std::size_t>(k)) = 1.0;
+      for (std::size_t j = 0; j < f; ++j) {
+        const double p = phase(r, j);
+        const double bkj = b_(static_cast<std::size_t>(k), j);
+        const double sp = std::sin(p), cp = std::cos(p);
+        dk(r, d + j) = bkj * cp;        // d sin / dx_k
+        dk(r, d + f + j) = -bkj * sp;   // d cos / dx_k
+        hk(r, d + j) = -bkj * bkj * sp;
+        hk(r, d + f + j) = -bkj * bkj * cp;
+      }
+    }
+  }
+}
+
+}  // namespace sgm::nn

@@ -1,0 +1,176 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::nn {
+
+using tensor::Matrix;
+using tensor::Tape;
+using tensor::VarId;
+
+Mlp::Mlp(MlpConfig cfg, util::Rng& rng) : cfg_(std::move(cfg)) {
+  if (cfg_.depth == 0) throw std::invalid_argument("Mlp: depth must be >= 1");
+  if (!cfg_.activation) throw std::invalid_argument("Mlp: null activation");
+  std::vector<std::size_t> dims;
+  dims.push_back(encoded_dim());
+  for (std::size_t l = 0; l < cfg_.depth; ++l) dims.push_back(cfg_.width);
+  dims.push_back(cfg_.output_dim);
+
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    const std::size_t fan_in = dims[l], fan_out = dims[l + 1];
+    const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    Matrix w(fan_in, fan_out);
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w.data()[i] = rng.uniform(-bound, bound);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(1, fan_out);
+  }
+}
+
+std::size_t Mlp::encoded_dim() const {
+  return cfg_.encoding ? cfg_.encoding->output_dim(cfg_.input_dim)
+                       : cfg_.input_dim;
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& w : weights_) n += w.size();
+  for (const auto& b : biases_) n += b.size();
+  return n;
+}
+
+Matrix Mlp::forward(const Matrix& x) const {
+  Matrix a;
+  if (cfg_.encoding) {
+    std::vector<Matrix> de, d2e;
+    cfg_.encoding->encode(x, 0, a, de, d2e);
+  } else {
+    a = x;
+  }
+  const std::size_t n_layers = weights_.size();
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    Matrix z = tensor::matmul(a, weights_[l]);
+    for (std::size_t r = 0; r < z.rows(); ++r)
+      for (std::size_t c = 0; c < z.cols(); ++c) z(r, c) += biases_[l](0, c);
+    if (l + 1 < n_layers) {
+      for (std::size_t i = 0; i < z.size(); ++i)
+        z.data()[i] = cfg_.activation->eval(z.data()[i], 0);
+    }
+    a = std::move(z);
+  }
+  return a;
+}
+
+Mlp::Binding Mlp::bind(Tape& tape) const {
+  Binding binding;
+  binding.w.reserve(weights_.size());
+  binding.b.reserve(biases_.size());
+  for (const auto& w : weights_) binding.w.push_back(tape.parameter(w));
+  for (const auto& b : biases_) binding.b.push_back(tape.parameter(b));
+  return binding;
+}
+
+Mlp::TapeOutputs Mlp::forward_on_tape(Tape& tape, const Binding& binding,
+                                      const Matrix& x, int n_deriv) const {
+  if (x.cols() != cfg_.input_dim)
+    throw std::invalid_argument("Mlp::forward_on_tape: input width mismatch");
+  if (n_deriv < 0 || static_cast<std::size_t>(n_deriv) > cfg_.input_dim)
+    throw std::invalid_argument("Mlp::forward_on_tape: bad n_deriv");
+
+  // Encoded inputs and their spatial derivatives are constants on the tape.
+  Matrix e;
+  std::vector<Matrix> de, d2e;
+  if (cfg_.encoding) {
+    cfg_.encoding->encode(x, n_deriv, e, de, d2e);
+  } else {
+    IdentityEncoding id;
+    id.encode(x, n_deriv, e, de, d2e);
+  }
+
+  VarId a = tape.constant(std::move(e));
+  std::vector<VarId> ak(n_deriv), hk(n_deriv);
+  for (int k = 0; k < n_deriv; ++k) {
+    ak[k] = tape.constant(std::move(de[k]));
+    hk[k] = tape.constant(std::move(d2e[k]));
+  }
+
+  const Activation& act = *cfg_.activation;
+  const std::size_t n_layers = weights_.size();
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const bool last = (l + 1 == n_layers);
+    VarId z = tensor::add_rowvec(tape, tensor::matmul(tape, a, binding.w[l]),
+                                 binding.b[l]);
+    std::vector<VarId> zk(n_deriv), hzk(n_deriv);
+    for (int k = 0; k < n_deriv; ++k) {
+      zk[k] = tensor::matmul(tape, ak[k], binding.w[l]);
+      hzk[k] = tensor::matmul(tape, hk[k], binding.w[l]);
+    }
+    if (last) {
+      a = z;
+      ak = std::move(zk);
+      hk = std::move(hzk);
+    } else {
+      a = tensor::apply(tape, z, act, 0);
+      if (n_deriv > 0) {
+        const VarId s1 = tensor::apply(tape, z, act, 1);
+        const VarId s2 = tensor::apply(tape, z, act, 2);
+        for (int k = 0; k < n_deriv; ++k) {
+          const VarId first = tensor::mul(tape, s1, zk[k]);
+          const VarId curv = tensor::mul(tape, s2, tensor::square(tape, zk[k]));
+          const VarId lin = tensor::mul(tape, s1, hzk[k]);
+          hk[k] = tensor::add(tape, curv, lin);
+          ak[k] = first;
+        }
+      }
+    }
+  }
+
+  TapeOutputs out;
+  out.y = a;
+  out.dy = std::move(ak);
+  out.d2y = std::move(hk);
+  return out;
+}
+
+std::vector<Matrix> Mlp::collect_grads(const Tape& tape,
+                                       const Binding& binding) const {
+  std::vector<Matrix> grads;
+  grads.reserve(weights_.size() + biases_.size());
+  auto take = [&](VarId id, const Matrix& shape_like) {
+    const Matrix& g = tape.grad(id);
+    grads.push_back(g.empty() ? Matrix(shape_like.rows(), shape_like.cols())
+                              : g);
+  };
+  for (std::size_t l = 0; l < weights_.size(); ++l)
+    take(binding.w[l], weights_[l]);
+  for (std::size_t l = 0; l < biases_.size(); ++l) take(binding.b[l], biases_[l]);
+  return grads;
+}
+
+std::vector<Matrix*> Mlp::parameters() {
+  std::vector<Matrix*> p;
+  for (auto& w : weights_) p.push_back(&w);
+  for (auto& b : biases_) p.push_back(&b);
+  return p;
+}
+
+std::vector<const Matrix*> Mlp::parameters() const {
+  std::vector<const Matrix*> p;
+  for (const auto& w : weights_) p.push_back(&w);
+  for (const auto& b : biases_) p.push_back(&b);
+  return p;
+}
+
+void Mlp::set_parameters(const std::vector<Matrix>& params) {
+  auto mine = parameters();
+  if (params.size() != mine.size())
+    throw std::invalid_argument("Mlp::set_parameters: count mismatch");
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    if (!mine[i]->same_shape(params[i]))
+      throw std::invalid_argument("Mlp::set_parameters: shape mismatch");
+    *mine[i] = params[i];
+  }
+}
+
+}  // namespace sgm::nn

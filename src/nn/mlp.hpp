@@ -1,0 +1,87 @@
+#pragma once
+// Fully-connected network (Eq. 2 of the paper) with tape-recorded forward
+// passes that additionally propagate first and second derivatives of the
+// outputs w.r.t. selected input dimensions.
+//
+// How second-order PDE terms are differentiated w.r.t. the weights: the
+// extended forward pass carries, per input dimension k, the Jacobian column
+// A_k = da/dx_k and the Hessian diagonal H_k = d2a/dx_k^2 through each layer
+// using only tape ops (matmul, elementwise sigma/sigma'/sigma'', products).
+// The chain rule per hidden layer (z = a W + b, a' = sigma(z)) is:
+//   Z_k  = A_k W          Hz_k = H_k W
+//   A'_k = sigma'(z) . Z_k
+//   H'_k = sigma''(z) . Z_k^2 + sigma'(z) . Hz_k
+// Because these are ordinary tape ops, a single reverse sweep yields
+// d(loss)/d(theta) even when the loss involves u_xx, u_yy, etc.
+
+#include <memory>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/encoding.hpp"
+#include "tensor/tape.hpp"
+#include "util/rng.hpp"
+
+namespace sgm::nn {
+
+struct MlpConfig {
+  std::size_t input_dim = 2;
+  std::size_t output_dim = 1;
+  std::size_t width = 64;
+  std::size_t depth = 4;  ///< number of hidden layers
+  const Activation* activation = &silu();
+  /// Optional phi_E input encoding; null means identity.
+  std::shared_ptr<const InputEncoding> encoding;
+};
+
+class Mlp {
+ public:
+  /// Xavier-uniform initialization from `rng`.
+  Mlp(MlpConfig cfg, util::Rng& rng);
+
+  const MlpConfig& config() const { return cfg_; }
+  std::size_t num_parameters() const;
+
+  /// Inference-only forward pass (no tape, no derivatives).
+  tensor::Matrix forward(const tensor::Matrix& x) const;
+
+  /// Parameter VarIds after binding this network's weights onto a tape.
+  struct Binding {
+    std::vector<tensor::VarId> w;
+    std::vector<tensor::VarId> b;
+  };
+  Binding bind(tensor::Tape& tape) const;
+
+  struct TapeOutputs {
+    tensor::VarId y = tensor::kNoVar;       ///< n x output_dim
+    std::vector<tensor::VarId> dy;          ///< dy[k]  = d y / d x_k
+    std::vector<tensor::VarId> d2y;         ///< d2y[k] = d^2 y / d x_k^2
+  };
+
+  /// Records the forward pass of batch `x` (n x input_dim) on `tape`,
+  /// propagating derivatives for the first `n_deriv` input dimensions
+  /// (0 => plain forward). Parameter gradients flow through `binding`.
+  TapeOutputs forward_on_tape(tensor::Tape& tape, const Binding& binding,
+                              const tensor::Matrix& x, int n_deriv) const;
+
+  /// Copies gradients of the bound parameters out of the tape after
+  /// backward(); order matches parameters(). Missing grads come out zero.
+  std::vector<tensor::Matrix> collect_grads(const tensor::Tape& tape,
+                                            const Binding& binding) const;
+
+  /// Mutable views of all parameters, weights then biases, layer-major.
+  std::vector<tensor::Matrix*> parameters();
+  std::vector<const tensor::Matrix*> parameters() const;
+
+  /// Overwrite parameters (e.g. restoring a checkpoint); shapes must match.
+  void set_parameters(const std::vector<tensor::Matrix>& params);
+
+ private:
+  std::size_t encoded_dim() const;
+
+  MlpConfig cfg_;
+  std::vector<tensor::Matrix> weights_;  ///< layer l: (d_{l-1} x d_l)
+  std::vector<tensor::Matrix> biases_;   ///< layer l: (1 x d_l)
+};
+
+}  // namespace sgm::nn

@@ -1,0 +1,82 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::nn {
+
+using tensor::Matrix;
+
+namespace {
+void check_step_args(const std::vector<Matrix*>& params,
+                     const std::vector<Matrix>& grads) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("Optimizer::step: param/grad count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    if (!params[i]->same_shape(grads[i]))
+      throw std::invalid_argument("Optimizer::step: shape mismatch at " +
+                                  std::to_string(i));
+}
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {}
+
+void Sgd::step(const std::vector<Matrix*>& params,
+               const std::vector<Matrix>& grads) {
+  check_step_args(params, grads);
+  if (velocity_.empty() && momentum_ != 0.0) {
+    for (const auto* p : params) velocity_.emplace_back(p->rows(), p->cols());
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (momentum_ != 0.0) {
+      Matrix& vel = velocity_[i];
+      vel.scale(momentum_);
+      vel.axpy(1.0, grads[i]);
+      params[i]->axpy(-lr_, vel);
+    } else {
+      params[i]->axpy(-lr_, grads[i]);
+    }
+  }
+  ++iterations_;
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::step(const std::vector<Matrix*>& params,
+                const std::vector<Matrix>& grads) {
+  check_step_args(params, grads);
+  if (m_.empty()) {
+    for (const auto* p : params) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+  }
+  ++iterations_;
+  const double t = static_cast<double>(iterations_);
+  const double bc1 = 1.0 - std::pow(beta1_, t);
+  const double bc2 = 1.0 - std::pow(beta2_, t);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    Matrix& p = *params[i];
+    const Matrix& g = grads[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double gj = g.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * gj;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * gj * gj;
+      const double mhat = m.data()[j] / bc1;
+      const double vhat = v.data()[j] / bc2;
+      p.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+double ExponentialDecaySchedule::lr(std::uint64_t step) const {
+  if (decay_steps_ == 0) return lr0_;
+  const double e =
+      static_cast<double>(step) / static_cast<double>(decay_steps_);
+  return lr0_ * std::pow(gamma_, e);
+}
+
+}  // namespace sgm::nn

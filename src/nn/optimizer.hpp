@@ -1,0 +1,75 @@
+#pragma once
+// First-order optimizers (Eq. 5) and learning-rate schedules.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace sgm::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update: params[i] -= step(grads[i]). The param/grad lists
+  /// must keep a stable order and shape across calls (internal state is
+  /// allocated lazily on first step and keyed by position).
+  virtual void step(const std::vector<tensor::Matrix*>& params,
+                    const std::vector<tensor::Matrix>& grads) = 0;
+
+  virtual void set_learning_rate(double lr) = 0;
+  virtual double learning_rate() const = 0;
+
+  /// Number of step() calls so far.
+  std::uint64_t iterations() const { return iterations_; }
+
+ protected:
+  std::uint64_t iterations_ = 0;
+};
+
+/// Plain SGD with optional classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+  void step(const std::vector<tensor::Matrix*>& params,
+            const std::vector<tensor::Matrix>& grads) override;
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<tensor::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer Modulus uses for
+/// the paper's examples.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void step(const std::vector<tensor::Matrix*>& params,
+            const std::vector<tensor::Matrix>& grads) override;
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::vector<tensor::Matrix> m_, v_;
+};
+
+/// lr(step) = lr0 * gamma^(step / decay_steps) — Modulus' default
+/// tf.ExponentialDecay-style schedule.
+class ExponentialDecaySchedule {
+ public:
+  ExponentialDecaySchedule(double lr0, double gamma, std::uint64_t decay_steps)
+      : lr0_(lr0), gamma_(gamma), decay_steps_(decay_steps) {}
+  double lr(std::uint64_t step) const;
+
+ private:
+  double lr0_, gamma_;
+  std::uint64_t decay_steps_;
+};
+
+}  // namespace sgm::nn

@@ -1,0 +1,74 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sgm::nn {
+
+namespace {
+constexpr const char* kMagic = "sgm-mlp";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_parameters(const Mlp& net, std::ostream& out) {
+  const auto params = net.parameters();
+  out << kMagic << ' ' << kVersion << ' ' << params.size() << '\n';
+  out << std::setprecision(17);
+  for (const auto* p : params) {
+    out << p->rows() << ' ' << p->cols();
+    for (std::size_t i = 0; i < p->size(); ++i) out << ' ' << p->data()[i];
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_parameters: stream write failed");
+}
+
+void load_parameters(Mlp& net, std::istream& in) {
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  if (!(in >> magic >> version >> count) || magic != kMagic)
+    throw std::runtime_error("load_parameters: not an sgm-mlp checkpoint");
+  if (version != kVersion)
+    throw std::runtime_error("load_parameters: unsupported version " +
+                             std::to_string(version));
+  auto params = net.parameters();
+  if (count != params.size())
+    throw std::runtime_error(
+        "load_parameters: tensor count mismatch (checkpoint " +
+        std::to_string(count) + ", network " +
+        std::to_string(params.size()) + ")");
+
+  std::vector<tensor::Matrix> loaded;
+  loaded.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    std::size_t rows = 0, cols = 0;
+    if (!(in >> rows >> cols))
+      throw std::runtime_error("load_parameters: truncated tensor header");
+    if (rows != params[t]->rows() || cols != params[t]->cols())
+      throw std::runtime_error("load_parameters: shape mismatch at tensor " +
+                               std::to_string(t));
+    tensor::Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (!(in >> m.data()[i]))
+        throw std::runtime_error("load_parameters: truncated tensor data");
+    }
+    loaded.push_back(std::move(m));
+  }
+  net.set_parameters(loaded);
+}
+
+void save_checkpoint(const Mlp& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  save_parameters(net, out);
+}
+
+void load_checkpoint(Mlp& net, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  load_parameters(net, in);
+}
+
+}  // namespace sgm::nn

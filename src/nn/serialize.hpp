@@ -1,0 +1,30 @@
+#pragma once
+// Checkpointing: save/restore MLP parameters. Text format, one header line
+// (magic, version, tensor count) followed by one line per tensor
+// (rows cols, then row-major values with full double precision), so
+// checkpoints are portable, diffable and greppable.
+//
+// The format stores parameters only — the architecture (width/depth/
+// activation/encoding) comes from code, and load_parameters() verifies the
+// shapes match before touching the network.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.hpp"
+
+namespace sgm::nn {
+
+/// Writes all parameters of `net` to `out`. Throws std::runtime_error on
+/// stream failure.
+void save_parameters(const Mlp& net, std::ostream& out);
+
+/// Reads parameters into `net`. Throws std::runtime_error on malformed
+/// input or architecture mismatch (shape counts/dims must match exactly).
+void load_parameters(Mlp& net, std::istream& in);
+
+/// File-path convenience wrappers.
+void save_checkpoint(const Mlp& net, const std::string& path);
+void load_checkpoint(Mlp& net, const std::string& path);
+
+}  // namespace sgm::nn

@@ -1,0 +1,91 @@
+#pragma once
+// Parameterized annular-ring problem — the Section 4.2 benchmark.
+//
+// Substitution (documented in DESIGN.md): the paper's annular-ring channel
+// with parameterized inner radius, validated against OpenFOAM, is mapped to
+// axisymmetric annular Poiseuille flow with parameterized inner radius,
+// validated against the exact solution in cfd/analytic.hpp. Same physics
+// family (steady incompressible laminar internal flow across a geometric
+// parameter), exact ground truth.
+//
+// Network inputs : (z, r, r_i) — axial coordinate, radial coordinate, and
+//                  the geometry parameter r_i in [r_i_min, r_i_max].
+// Network outputs: (u, v, p) — axial velocity, radial velocity, pressure.
+// Residuals (steady axisymmetric incompressible NS, rho = 1):
+//   continuity : u_z + v_r + v / r
+//   momentum-z : u u_z + v u_r + p_z - nu (u_zz + u_rr + u_r / r)
+//   momentum-r : u v_z + v v_r + p_r - nu (v_zz + v_rr + v_r / r - v / r^2)
+// Boundary data: no-slip at r = r_i and r = r_o; p = g*L and v = 0 at the
+// inlet z = 0; p = 0 and v = 0 at the outlet z = L.
+// Exact solution: u = annular Poiseuille profile, v = 0, p linear in z.
+
+#include "cfd/analytic.hpp"
+#include "nn/mlp.hpp"
+#include "pinn/pde.hpp"
+
+namespace sgm::pinn {
+
+class AnnularProblem final : public PinnProblem {
+ public:
+  struct Options {
+    double length = 2.0;        ///< duct length L
+    double r_outer = 2.0;
+    double r_inner_min = 0.75;  ///< paper's parameter range
+    double r_inner_max = 1.1;
+    double pressure_gradient = 1.0;  ///< g = -dp/dz
+    double nu = 0.1;                 ///< paper's viscosity
+    std::size_t interior_points = 16384;
+    std::size_t boundary_points = 2048;
+    std::size_t boundary_batch = 128;
+    double boundary_weight = 30.0;
+    std::uint64_t seed = 13;
+  };
+
+  explicit AnnularProblem(const Options& options);
+
+  std::string name() const override { return "annular_ring_param"; }
+  const tensor::Matrix& interior_points() const override { return interior_; }
+  std::size_t input_dim() const override { return 3; }
+  std::size_t output_dim() const override { return 3; }
+
+  tensor::VarId batch_loss(tensor::Tape& tape, const nn::Mlp& net,
+                           const nn::Mlp::Binding& binding,
+                           const std::vector<std::uint32_t>& rows,
+                           util::Rng& rng) const override;
+
+  std::vector<double> pointwise_residual(
+      const nn::Mlp& net,
+      const std::vector<std::uint32_t>& rows) const override;
+
+  /// Errors averaged over the paper's three validation radii
+  /// (r_i = 1.0, 0.875, 0.75): relative L2 of u and p; v is reported as
+  /// RMS(v_pred) / RMS(u_ref) since the exact v is identically zero.
+  std::vector<ValidationEntry> validate(const nn::Mlp& net) const override;
+
+  /// Per-radius validation (for Fig. 3's three panels).
+  std::vector<ValidationEntry> validate_at(const nn::Mlp& net,
+                                           double r_inner) const;
+
+  /// Absolute pressure-error field on an (nz x nr) grid at a fixed r_i
+  /// (Fig. 4). Returns a matrix with rows (z, r, |p_err|).
+  tensor::Matrix pressure_error_field(const nn::Mlp& net, double r_inner,
+                                      std::size_t nz, std::size_t nr) const;
+
+  const Options& options() const { return opt_; }
+
+  /// The exact reference for a given inner radius.
+  cfd::AnnularPoiseuille reference(double r_inner) const;
+
+ private:
+  tensor::VarId residual_sq_on_tape(tensor::Tape& tape, const nn::Mlp& net,
+                                    const nn::Mlp::Binding& binding,
+                                    const tensor::Matrix& batch) const;
+
+  Options opt_;
+  tensor::Matrix interior_;      // N x 3 (z, r, r_i)
+  tensor::Matrix boundary_;      // Nb x 3
+  tensor::Matrix boundary_tgt_;  // Nb x 4: (u*, v*, p*, mask) — mask selects
+                                 // velocity (1) vs pressure (0) condition
+};
+
+}  // namespace sgm::pinn

@@ -1,0 +1,113 @@
+#include "pinn/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::pinn {
+
+using tensor::Matrix;
+
+Matrix Geometry2D::sample_interior(std::size_t n, util::Rng& rng) const {
+  const Aabb box = bounds();
+  Matrix pts(n, 2);
+  std::size_t got = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 1000 * std::max<std::size_t>(n, 1);
+  while (got < n) {
+    if (++attempts > max_attempts)
+      throw std::runtime_error(
+          "Geometry2D::sample_interior: rejection sampling failed (empty "
+          "geometry?)");
+    const double x = rng.uniform(box.xmin, box.xmax);
+    const double y = rng.uniform(box.ymin, box.ymax);
+    if (sdf(x, y) < 0.0) {
+      pts(got, 0) = x;
+      pts(got, 1) = y;
+      ++got;
+    }
+  }
+  return pts;
+}
+
+Rectangle::Rectangle(double xmin, double xmax, double ymin, double ymax)
+    : box_{xmin, xmax, ymin, ymax} {
+  if (xmax <= xmin || ymax <= ymin)
+    throw std::invalid_argument("Rectangle: degenerate extents");
+}
+
+double Rectangle::sdf(double x, double y) const {
+  // Exact rectangle SDF.
+  const double cx = 0.5 * (box_.xmin + box_.xmax);
+  const double cy = 0.5 * (box_.ymin + box_.ymax);
+  const double dx = std::fabs(x - cx) - 0.5 * box_.width();
+  const double dy = std::fabs(y - cy) - 0.5 * box_.height();
+  const double ox = std::max(dx, 0.0), oy = std::max(dy, 0.0);
+  const double outside = std::sqrt(ox * ox + oy * oy);
+  const double inside = std::min(std::max(dx, dy), 0.0);
+  return outside + inside;
+}
+
+Matrix Rectangle::sample_side(Side side, std::size_t n, util::Rng& rng) const {
+  Matrix pts(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Stratified: one uniform draw per equal sub-interval.
+    const double t = (static_cast<double>(i) + rng.uniform()) /
+                     static_cast<double>(n);
+    switch (side) {
+      case Side::kBottom:
+        pts(i, 0) = box_.xmin + t * box_.width();
+        pts(i, 1) = box_.ymin;
+        break;
+      case Side::kTop:
+        pts(i, 0) = box_.xmin + t * box_.width();
+        pts(i, 1) = box_.ymax;
+        break;
+      case Side::kLeft:
+        pts(i, 0) = box_.xmin;
+        pts(i, 1) = box_.ymin + t * box_.height();
+        break;
+      case Side::kRight:
+        pts(i, 0) = box_.xmax;
+        pts(i, 1) = box_.ymin + t * box_.height();
+        break;
+    }
+  }
+  return pts;
+}
+
+Circle::Circle(double cx, double cy, double r) : cx_(cx), cy_(cy), r_(r) {
+  if (r <= 0) throw std::invalid_argument("Circle: radius must be positive");
+}
+
+double Circle::sdf(double x, double y) const {
+  const double dx = x - cx_, dy = y - cy_;
+  return std::sqrt(dx * dx + dy * dy) - r_;
+}
+
+Aabb Circle::bounds() const {
+  return {cx_ - r_, cx_ + r_, cy_ - r_, cy_ + r_};
+}
+
+Matrix Circle::sample_boundary(std::size_t n, util::Rng& rng) const {
+  Matrix pts(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta = 2.0 * M_PI *
+                         (static_cast<double>(i) + rng.uniform()) /
+                         static_cast<double>(n);
+    pts(i, 0) = cx_ + r_ * std::cos(theta);
+    pts(i, 1) = cy_ + r_ * std::sin(theta);
+  }
+  return pts;
+}
+
+double Difference::sdf(double x, double y) const {
+  return std::max(a_.sdf(x, y), -b_.sdf(x, y));
+}
+
+double unit_square_wall_distance(double x, double y) {
+  return std::max(
+      0.0, std::min(std::min(x, 1.0 - x), std::min(y, 1.0 - y)));
+}
+
+}  // namespace sgm::pinn

@@ -1,0 +1,83 @@
+#pragma once
+// 2-D geometry primitives for collocation-point generation: signed distance
+// functions, rejection sampling of interiors and uniform sampling of
+// boundary segments. These mirror the constructive-geometry layer of
+// Modulus Sym at the scale this repo needs.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace sgm::pinn {
+
+struct Aabb {
+  double xmin = 0, xmax = 1, ymin = 0, ymax = 1;
+  double width() const { return xmax - xmin; }
+  double height() const { return ymax - ymin; }
+};
+
+class Geometry2D {
+ public:
+  virtual ~Geometry2D() = default;
+
+  /// Signed distance: negative inside, positive outside, 0 on the boundary.
+  virtual double sdf(double x, double y) const = 0;
+
+  virtual Aabb bounds() const = 0;
+
+  bool inside(double x, double y) const { return sdf(x, y) <= 0.0; }
+
+  /// `n` interior points by rejection sampling within bounds().
+  tensor::Matrix sample_interior(std::size_t n, util::Rng& rng) const;
+};
+
+/// Axis-aligned rectangle.
+class Rectangle final : public Geometry2D {
+ public:
+  Rectangle(double xmin, double xmax, double ymin, double ymax);
+
+  double sdf(double x, double y) const override;
+  Aabb bounds() const override { return box_; }
+
+  enum class Side { kBottom, kTop, kLeft, kRight };
+  /// `n` uniformly spaced points along one side (endpoints inset half a
+  /// step so corners are not double-counted between walls).
+  tensor::Matrix sample_side(Side side, std::size_t n, util::Rng& rng) const;
+
+ private:
+  Aabb box_;
+};
+
+/// Circle (disk) of radius r at (cx, cy).
+class Circle final : public Geometry2D {
+ public:
+  Circle(double cx, double cy, double r);
+  double sdf(double x, double y) const override;
+  Aabb bounds() const override;
+
+  /// `n` points uniform in angle on the circle.
+  tensor::Matrix sample_boundary(std::size_t n, util::Rng& rng) const;
+
+ private:
+  double cx_, cy_, r_;
+};
+
+/// Constructive difference a \ b (e.g. channel minus ring).
+class Difference final : public Geometry2D {
+ public:
+  Difference(const Geometry2D& a, const Geometry2D& b) : a_(a), b_(b) {}
+  double sdf(double x, double y) const override;
+  Aabb bounds() const override { return a_.bounds(); }
+
+ private:
+  const Geometry2D& a_;
+  const Geometry2D& b_;
+};
+
+/// Distance to the nearest wall of the unit square (the LDC mixing-length /
+/// SDF loss weight).
+double unit_square_wall_distance(double x, double y);
+
+}  // namespace sgm::pinn

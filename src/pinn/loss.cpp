@@ -1,0 +1,45 @@
+#include "pinn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::pinn {
+
+using tensor::Tape;
+using tensor::VarId;
+
+VarId mse(Tape& tape, VarId residual) {
+  return tensor::mean_all(tape, tensor::square(tape, residual));
+}
+
+VarId weighted_mse(Tape& tape, VarId residual, const tensor::Matrix& weights) {
+  return tensor::weighted_mean(tape, tensor::square(tape, residual), weights);
+}
+
+VarId combine(Tape& tape, const std::vector<LossTerm>& terms) {
+  if (terms.empty()) throw std::invalid_argument("combine: no loss terms");
+  VarId acc = tensor::scale(tape, terms[0].value, terms[0].weight);
+  for (std::size_t i = 1; i < terms.size(); ++i)
+    acc = tensor::add(tape, acc,
+                      tensor::scale(tape, terms[i].value, terms[i].weight));
+  return acc;
+}
+
+double SqrtEps::eval(double x, int order) const {
+  const double s = std::sqrt(std::max(x, 0.0) + eps_);
+  switch (order) {
+    case 0: return s;
+    case 1: return 0.5 / s;
+    case 2: return -0.25 / (s * s * s);
+    case 3: return 0.375 / (s * s * s * s * s);
+    default:
+      throw std::invalid_argument("SqrtEps: order > 3 not supported");
+  }
+}
+
+const SqrtEps& sqrt_eps() {
+  static const SqrtEps f;
+  return f;
+}
+
+}  // namespace sgm::pinn

@@ -1,0 +1,44 @@
+#pragma once
+// Loss assembly (Eq. 4): squared-residual means with optional per-point
+// weights, combined into one scalar training loss on the tape.
+
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace sgm::pinn {
+
+/// One named component of the total loss (for telemetry).
+struct LossTerm {
+  std::string name;
+  tensor::VarId value = tensor::kNoVar;  ///< scalar (1x1) on the tape
+  double weight = 1.0;
+};
+
+/// mean(residual^2) — the standard p=2 loss of Eq. 4.
+tensor::VarId mse(tensor::Tape& tape, tensor::VarId residual);
+
+/// mean(w .* residual^2) with constant per-point weights (e.g. the SDF
+/// weighting Modulus applies to interior residuals).
+tensor::VarId weighted_mse(tensor::Tape& tape, tensor::VarId residual,
+                           const tensor::Matrix& weights);
+
+/// weight_1 * term_1 + ... + weight_k * term_k as a tape scalar.
+tensor::VarId combine(tensor::Tape& tape, const std::vector<LossTerm>& terms);
+
+/// sqrt(x + eps) with derivatives — used by the zero-equation turbulence
+/// closure (eps keeps the derivative finite at zero strain).
+class SqrtEps final : public tensor::ElementwiseFunction {
+ public:
+  explicit SqrtEps(double eps = 1e-10) : eps_(eps) {}
+  double eval(double x, int order) const override;
+
+ private:
+  double eps_;
+};
+
+/// The shared SqrtEps singleton (tape ops keep raw pointers to it).
+const SqrtEps& sqrt_eps();
+
+}  // namespace sgm::pinn

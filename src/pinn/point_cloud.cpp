@@ -1,0 +1,64 @@
+#include "pinn/point_cloud.hpp"
+
+#include <stdexcept>
+
+namespace sgm::pinn {
+
+using tensor::Matrix;
+
+Matrix gather_rows(const Matrix& m, const std::vector<std::uint32_t>& rows) {
+  Matrix out(rows.size(), m.cols());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r] >= m.rows())
+      throw std::out_of_range("gather_rows: index out of range");
+    const double* src = m.row(rows[r]);
+    double* dst = out.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> v(n);
+  if (n == 1) {
+    v[0] = lo;
+    return v;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) v[i] = lo + step * static_cast<double>(i);
+  return v;
+}
+
+Matrix make_grid(double x0, double x1, std::size_t nx, double y0, double y1,
+                 std::size_t ny) {
+  const auto xs = linspace(x0, x1, nx);
+  const auto ys = linspace(y0, y1, ny);
+  Matrix pts(nx * ny, 2);
+  std::size_t row = 0;
+  for (double y : ys)
+    for (double x : xs) {
+      pts(row, 0) = x;
+      pts(row, 1) = y;
+      ++row;
+    }
+  return pts;
+}
+
+ColumnRange column_range(const Matrix& m) {
+  ColumnRange r;
+  r.min.assign(m.cols(), 0.0);
+  r.max.assign(m.cols(), 0.0);
+  if (m.rows() == 0) return r;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    double lo = m(0, c), hi = m(0, c);
+    for (std::size_t i = 1; i < m.rows(); ++i) {
+      lo = std::min(lo, m(i, c));
+      hi = std::max(hi, m(i, c));
+    }
+    r.min[c] = lo;
+    r.max[c] = hi;
+  }
+  return r;
+}
+
+}  // namespace sgm::pinn

@@ -1,0 +1,29 @@
+#pragma once
+// Small point-cloud utilities shared by problems, validation and benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace sgm::pinn {
+
+/// New matrix holding the selected rows of `m`, in the given order.
+tensor::Matrix gather_rows(const tensor::Matrix& m,
+                           const std::vector<std::uint32_t>& rows);
+
+/// `n` evenly spaced values in [lo, hi] inclusive.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Regular (nx * ny) x 2 grid covering [x0,x1] x [y0,y1], row-major in y
+/// then x (interior-inclusive endpoints).
+tensor::Matrix make_grid(double x0, double x1, std::size_t nx, double y0,
+                         double y1, std::size_t ny);
+
+/// Per-column min/max of a matrix (diagnostics).
+struct ColumnRange {
+  std::vector<double> min, max;
+};
+ColumnRange column_range(const tensor::Matrix& m);
+
+}  // namespace sgm::pinn

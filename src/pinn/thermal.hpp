@@ -1,0 +1,89 @@
+#pragma once
+// Chip-thermal PINN problem — the "chip thermal analysis" CAD workload the
+// paper's introduction motivates (Li et al., ICCAD 2004 style full-chip
+// steady-state thermal model, reduced to 2-D):
+//
+//   -k nabla^2 T = q(x, y)  on the unit die,  T = 0 on the boundary
+//
+// where q is a power-density map of rectangular blocks (cores, caches...).
+// The sharply localized hot spots make this an ideal importance-sampling
+// showcase: residuals concentrate under and around the power blocks.
+// Validation data comes from the FDM solver in cfd/poisson_fdm.hpp.
+
+#include <memory>
+#include <vector>
+
+#include "cfd/poisson_fdm.hpp"
+#include "pinn/pde.hpp"
+
+namespace sgm::pinn {
+
+/// One rectangular power block on the die (power density in W per area,
+/// pre-divided by the conductivity k).
+struct PowerBlock {
+  double xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+  double density = 0.0;
+  /// Gaussian edge softening (fraction of the block size) so the PINN sees
+  /// a differentiable source; 0 = hard edges.
+  double edge_softness = 0.02;
+
+  bool contains(double x, double y) const {
+    return x >= xmin && x <= xmax && y >= ymin && y <= ymax;
+  }
+};
+
+class ChipThermalProblem final : public PinnProblem {
+ public:
+  struct Options {
+    std::vector<PowerBlock> blocks;  ///< empty => default 3-block floorplan
+    std::size_t interior_points = 8192;
+    std::size_t boundary_points = 1024;
+    std::size_t boundary_batch = 128;
+    double boundary_weight = 10.0;
+    int reference_grid = 129;        ///< FDM validation resolution
+    std::uint64_t seed = 23;
+  };
+
+  explicit ChipThermalProblem(const Options& options);
+
+  std::string name() const override { return "chip_thermal"; }
+  const tensor::Matrix& interior_points() const override { return interior_; }
+  std::size_t input_dim() const override { return 2; }
+  std::size_t output_dim() const override { return 1; }
+
+  tensor::VarId batch_loss(tensor::Tape& tape, const nn::Mlp& net,
+                           const nn::Mlp::Binding& binding,
+                           const std::vector<std::uint32_t>& rows,
+                           util::Rng& rng) const override;
+
+  std::vector<double> pointwise_residual(
+      const nn::Mlp& net,
+      const std::vector<std::uint32_t>& rows) const override;
+
+  /// Relative L2 of T against the FDM reference on an interior grid.
+  std::vector<ValidationEntry> validate(const nn::Mlp& net) const override;
+
+  /// Smoothed power density q(x, y) the residual uses.
+  double power_density(double x, double y) const;
+
+  /// Peak reference temperature (for reporting hot-spot accuracy).
+  double reference_peak() const { return reference_peak_; }
+
+  const Options& options() const { return opt_; }
+
+  /// The default floorplan: two hot cores and one wide low-power block.
+  static std::vector<PowerBlock> default_floorplan();
+
+ private:
+  tensor::VarId residual_on_tape(tensor::Tape& tape, const nn::Mlp& net,
+                                 const nn::Mlp::Binding& binding,
+                                 const tensor::Matrix& batch) const;
+
+  Options opt_;
+  tensor::Matrix interior_;
+  tensor::Matrix boundary_;
+  std::shared_ptr<const cfd::PoissonFdmSolution> reference_;
+  double reference_peak_ = 0.0;
+};
+
+}  // namespace sgm::pinn

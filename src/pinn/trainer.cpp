@@ -1,0 +1,116 @@
+#include "pinn/trainer.hpp"
+
+#include <memory>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace sgm::pinn {
+
+double TrainHistory::best_error(const std::string& metric) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& rec : records)
+    for (const auto& entry : rec.validation)
+      if (entry.name == metric) best = std::min(best, entry.error);
+  return best;
+}
+
+double TrainHistory::time_to_reach(const std::string& metric,
+                                   double threshold) const {
+  for (const auto& rec : records)
+    for (const auto& entry : rec.validation)
+      if (entry.name == metric && entry.error <= threshold)
+        return rec.train_wall_s;
+  return std::numeric_limits<double>::infinity();
+}
+
+Trainer::Trainer(const PinnProblem& problem, nn::Mlp& net,
+                 samplers::Sampler& sampler, const TrainerOptions& options)
+    : problem_(problem), net_(net), sampler_(sampler), opt_(options) {}
+
+TrainHistory Trainer::run() {
+  util::Rng rng(opt_.seed);
+  nn::Adam adam(opt_.learning_rate);
+  const nn::ExponentialDecaySchedule schedule(
+      opt_.learning_rate, opt_.lr_gamma, opt_.lr_decay_steps);
+
+  samplers::LossEvaluator evaluate =
+      [this](const std::vector<std::uint32_t>& rows) {
+        return problem_.pointwise_residual(net_, rows);
+      };
+
+  std::unique_ptr<util::CsvWriter> csv;
+  std::vector<std::string> metric_names;
+
+  TrainHistory history;
+  history.sampler_name = sampler_.name();
+  double train_wall = 0.0;
+  double loss_accum = 0.0;
+  std::uint64_t loss_count = 0;
+
+  auto record_point = [&](std::uint64_t iteration) {
+    TrainRecord rec;
+    rec.iteration = iteration;
+    rec.train_wall_s = train_wall;
+    rec.mean_loss = loss_count ? loss_accum / loss_count : 0.0;
+    rec.validation = problem_.validate(net_);  // outside the wall clock
+    loss_accum = 0.0;
+    loss_count = 0;
+    if (!opt_.telemetry_csv.empty()) {
+      if (!csv) {
+        std::vector<std::string> header = {"iteration", "train_wall_s",
+                                           "mean_loss"};
+        for (const auto& e : rec.validation) {
+          header.push_back("err_" + e.name);
+          metric_names.push_back(e.name);
+        }
+        csv = std::make_unique<util::CsvWriter>(opt_.telemetry_csv, header);
+      }
+      std::vector<double> row = {static_cast<double>(iteration), train_wall,
+                                 rec.mean_loss};
+      for (const auto& e : rec.validation) row.push_back(e.error);
+      csv->row(row);
+    }
+    history.records.push_back(std::move(rec));
+  };
+
+  for (std::uint64_t it = 0; it < opt_.max_iterations; ++it) {
+    util::WallTimer step_timer;
+
+    sampler_.maybe_refresh(it, evaluate, rng);
+    const std::vector<std::uint32_t> rows =
+        sampler_.next_batch(opt_.batch_size, rng);
+
+    tensor::Tape tape;
+    const nn::Mlp::Binding binding = net_.bind(tape);
+    const tensor::VarId loss =
+        problem_.batch_loss(tape, net_, binding, rows, rng);
+    tape.backward(loss);
+    const std::vector<tensor::Matrix> grads = net_.collect_grads(tape, binding);
+
+    adam.set_learning_rate(schedule.lr(it));
+    adam.step(net_.parameters(), grads);
+
+    train_wall += step_timer.elapsed_s();
+    loss_accum += tape.value(loss)(0, 0);
+    ++loss_count;
+
+    const bool last = (it + 1 == opt_.max_iterations);
+    const bool budget_hit =
+        opt_.wall_time_budget_s > 0.0 && train_wall >= opt_.wall_time_budget_s;
+    if ((it + 1) % opt_.validate_every == 0 || last || budget_hit)
+      record_point(it + 1);
+    if (budget_hit) {
+      util::log_info() << "Trainer[" << sampler_.name()
+                       << "]: wall budget reached at iteration " << it + 1;
+      break;
+    }
+  }
+
+  history.total_train_wall_s = train_wall;
+  history.sampler_refresh_s = sampler_.refresh_seconds();
+  history.sampler_loss_evaluations = sampler_.loss_evaluations();
+  return history;
+}
+
+}  // namespace sgm::pinn

@@ -1,0 +1,75 @@
+#pragma once
+// The sampler-agnostic training loop. All experiment arms (uniform / MIS /
+// SGM / SGM-S) share this trainer; only the injected Sampler differs, which
+// is the paper's controlled variable.
+//
+// Telemetry rules (what the tables/figures are computed from):
+//  * "train wall time" includes forward/backward/optimizer AND all sampler
+//    refresh work (the overhead the paper trades against) — but excludes
+//    validation, which exists only for measurement;
+//  * validation errors are recorded every `validate_every` iterations,
+//    giving the error-vs-time curves of Figs. 2-3 and the minima /
+//    time-to-reach entries of Tables 1-2.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "pinn/pde.hpp"
+#include "samplers/sampler.hpp"
+
+namespace sgm::pinn {
+
+struct TrainerOptions {
+  std::size_t batch_size = 512;
+  std::uint64_t max_iterations = 2000;
+  double wall_time_budget_s = 0.0;  ///< stop early when > 0 and exceeded
+  double learning_rate = 1e-3;
+  double lr_gamma = 0.97;           ///< exponential decay factor
+  std::uint64_t lr_decay_steps = 1000;
+  std::uint64_t validate_every = 200;
+  std::string telemetry_csv;        ///< optional CSV path ("" = off)
+  std::uint64_t seed = 1;
+};
+
+struct TrainRecord {
+  std::uint64_t iteration = 0;
+  double train_wall_s = 0.0;  ///< cumulative, validation excluded
+  double mean_loss = 0.0;     ///< mean batch loss since previous record
+  std::vector<ValidationEntry> validation;
+};
+
+struct TrainHistory {
+  std::vector<TrainRecord> records;
+  double total_train_wall_s = 0.0;
+  double sampler_refresh_s = 0.0;
+  std::uint64_t sampler_loss_evaluations = 0;
+  std::string sampler_name;
+
+  /// Minimum validation error observed for a metric (inf when absent).
+  double best_error(const std::string& metric) const;
+
+  /// Train wall time of the first record whose `metric` error is <=
+  /// `threshold` (inf when never reached) — the T(M_j) entries of the
+  /// paper's tables.
+  double time_to_reach(const std::string& metric, double threshold) const;
+};
+
+class Trainer {
+ public:
+  Trainer(const PinnProblem& problem, nn::Mlp& net,
+          samplers::Sampler& sampler, const TrainerOptions& options);
+
+  /// Runs the full loop and returns the telemetry history.
+  TrainHistory run();
+
+ private:
+  const PinnProblem& problem_;
+  nn::Mlp& net_;
+  samplers::Sampler& sampler_;
+  TrainerOptions opt_;
+};
+
+}  // namespace sgm::pinn

@@ -1,0 +1,67 @@
+#include "pinn/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace sgm::pinn {
+
+double relative_l2(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("relative_l2: size mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num / (den > 0.0 ? den : 1.0));
+}
+
+std::string format_validation(const std::vector<ValidationEntry>& entries) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) out << ' ';
+    out << entries[i].name << '=' << util::format_double(entries[i].error);
+  }
+  return out.str();
+}
+
+double validation_error(const std::vector<ValidationEntry>& entries,
+                        const std::string& name) {
+  for (const auto& e : entries)
+    if (e.name == name) return e.error;
+  return std::numeric_limits<double>::infinity();
+}
+
+std::string ascii_heatmap(const tensor::Matrix& field, std::size_t nz,
+                          std::size_t nr) {
+  if (field.rows() != nz * nr || field.cols() < 3)
+    throw std::invalid_argument("ascii_heatmap: field shape mismatch");
+  double lo = field(0, 2), hi = field(0, 2);
+  for (std::size_t i = 0; i < field.rows(); ++i) {
+    lo = std::min(lo, field(i, 2));
+    hi = std::max(hi, field(i, 2));
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  static const char ramp[] = " .:-=+*#%@";
+  std::ostringstream out;
+  out << "min=" << util::format_double(lo) << " max=" << util::format_double(hi)
+      << " (rows: r descending; cols: z increasing)\n";
+  for (std::size_t ir = nr; ir-- > 0;) {
+    for (std::size_t iz = 0; iz < nz; ++iz) {
+      const double v = field(iz * nr + ir, 2);
+      const int level = static_cast<int>((v - lo) / span * 9.0);
+      out << ramp[std::clamp(level, 0, 9)];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sgm::pinn

@@ -1,0 +1,30 @@
+#pragma once
+// Shared validation/reporting helpers used by problems, examples and the
+// bench harnesses.
+
+#include <string>
+#include <vector>
+
+#include "pinn/pde.hpp"
+#include "tensor/matrix.hpp"
+
+namespace sgm::pinn {
+
+/// ||a - b||_2 / ||b||_2 over aligned vectors (returns ||a||-based value
+/// when b is all zeros, guarding the division).
+double relative_l2(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Pretty single-line rendering, e.g. "u=0.0123 v=0.0456 p=0.1".
+std::string format_validation(const std::vector<ValidationEntry>& entries);
+
+/// Finds a metric's error in a validation set (inf when absent).
+double validation_error(const std::vector<ValidationEntry>& entries,
+                        const std::string& name);
+
+/// Renders an (z, r, value) triplet field (as produced by
+/// AnnularProblem::pressure_error_field) into a coarse ASCII heat map for
+/// terminal inspection — the textual stand-in for Fig. 4's color plots.
+std::string ascii_heatmap(const tensor::Matrix& field, std::size_t nz,
+                          std::size_t nr);
+
+}  // namespace sgm::pinn

@@ -1,0 +1,46 @@
+#include "pinn/zero_eq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pinn/loss.hpp"
+
+namespace sgm::pinn {
+
+using tensor::Matrix;
+using tensor::Tape;
+using tensor::VarId;
+
+double mixing_length(double wall_distance, const ZeroEqOptions& options) {
+  return std::min(options.karman * wall_distance,
+                  options.max_distance_ratio * options.max_distance);
+}
+
+VarId zero_eq_nu_t(Tape& tape, const nn::Mlp::TapeOutputs& out,
+                   std::size_t u_col, std::size_t v_col,
+                   const Matrix& wall_distance, const ZeroEqOptions& options) {
+  // First derivatives of u and v w.r.t. x (dy[0]) and y (dy[1]).
+  const VarId ux = tensor::col(tape, out.dy[0], u_col);
+  const VarId uy = tensor::col(tape, out.dy[1], u_col);
+  const VarId vx = tensor::col(tape, out.dy[0], v_col);
+  const VarId vy = tensor::col(tape, out.dy[1], v_col);
+
+  // G = 2 (u_x^2 + v_y^2) + (u_y + v_x)^2
+  const VarId g2 = tensor::scale(
+      tape,
+      tensor::add(tape, tensor::square(tape, ux), tensor::square(tape, vy)),
+      2.0);
+  const VarId shear = tensor::square(tape, tensor::add(tape, uy, vx));
+  const VarId g = tensor::add(tape, g2, shear);
+
+  // nu_t = rho * l_m^2 * sqrt(G); l_m^2 is a constant per batch row.
+  const VarId sqrt_g = tensor::apply(tape, g, sqrt_eps(), 0);
+  Matrix lm2(wall_distance.rows(), 1);
+  for (std::size_t i = 0; i < wall_distance.rows(); ++i) {
+    const double lm = mixing_length(wall_distance(i, 0), options);
+    lm2(i, 0) = options.rho * lm * lm;
+  }
+  return tensor::mul(tape, tape.constant(std::move(lm2)), sqrt_g);
+}
+
+}  // namespace sgm::pinn

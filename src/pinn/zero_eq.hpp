@@ -1,0 +1,38 @@
+#pragma once
+// Zero-equation (mixing-length) turbulence closure, matching the Modulus
+// "ZeroEquation" node used by the paper's LDC example:
+//
+//   nu_t = rho * l_m^2 * sqrt(G),   G = 2 (u_x^2 + v_y^2) + (u_y + v_x)^2
+//   l_m  = min(karman * d, max_distance_ratio * max_distance)
+//
+// where d is the normal wall distance (geometry-supplied, constant per
+// collocation point). nu_t is built from first derivatives of the network
+// outputs on the tape, so the turbulent stress is differentiated w.r.t.
+// the weights like every other residual term.
+
+#include "nn/mlp.hpp"
+#include "tensor/ops.hpp"
+
+namespace sgm::pinn {
+
+struct ZeroEqOptions {
+  double karman = 0.419;
+  double max_distance_ratio = 0.09;
+  double max_distance = 0.5;  ///< cavity half-width for the LDC example
+  double rho = 1.0;
+};
+
+/// Emits nu_t (n x 1) on the tape. `wall_distance` holds d per batch row;
+/// dy are the network-output Jacobian columns (dy[0] = d(outputs)/dx,
+/// dy[1] = d(outputs)/dy) from Mlp::forward_on_tape; u and v are output
+/// column indices.
+tensor::VarId zero_eq_nu_t(tensor::Tape& tape,
+                           const nn::Mlp::TapeOutputs& out, std::size_t u_col,
+                           std::size_t v_col,
+                           const tensor::Matrix& wall_distance,
+                           const ZeroEqOptions& options);
+
+/// Mixing length l_m at a wall distance (exposed for tests/validation).
+double mixing_length(double wall_distance, const ZeroEqOptions& options);
+
+}  // namespace sgm::pinn

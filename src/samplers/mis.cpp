@@ -1,0 +1,91 @@
+#include "samplers/mis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sgm::samplers {
+
+using tensor::Matrix;
+
+MisSampler::MisSampler(const Matrix& points, const MisOptions& options)
+    : points_(points), opt_(options) {}
+
+std::vector<std::uint32_t> MisSampler::next_batch(std::size_t batch_size,
+                                                  util::Rng& rng) {
+  const std::uint32_t n = static_cast<std::uint32_t>(points_.rows());
+  std::vector<std::uint32_t> batch(batch_size);
+  if (!table_) {
+    // Before the first refresh we have no loss information: uniform.
+    for (auto& b : batch) b = static_cast<std::uint32_t>(rng.uniform_index(n));
+    return batch;
+  }
+  for (auto& b : batch) b = table_->sample(rng);
+  return batch;
+}
+
+void MisSampler::maybe_refresh(std::uint64_t iteration,
+                               const LossEvaluator& evaluate, util::Rng& rng) {
+  if (ever_refreshed_ && iteration - last_refresh_ < opt_.refresh_every)
+    return;
+  if (!ever_refreshed_ && iteration == 0) {
+    // Give the network a first refresh immediately — Modulus MIS also
+    // scores the initial state.
+  }
+  util::WallTimer timer;
+  const std::uint32_t n = static_cast<std::uint32_t>(points_.rows());
+  std::vector<double> score(n, 0.0);
+
+  if (opt_.num_seeds == 0 || opt_.num_seeds >= n) {
+    std::vector<std::uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    std::vector<double> loss = evaluate(all);
+    loss_evaluations_ += n;
+    for (std::uint32_t i = 0; i < n; ++i) score[i] = loss[i];
+  } else {
+    std::vector<std::uint32_t> seeds = rng.sample_without_replacement(
+        n, static_cast<std::uint32_t>(opt_.num_seeds));
+    std::vector<double> seed_loss = evaluate(seeds);
+    loss_evaluations_ += seeds.size();
+    // Piecewise assignment: each point inherits its nearest seed's loss.
+    Matrix seed_pts(seeds.size(), points_.cols());
+    for (std::size_t s = 0; s < seeds.size(); ++s)
+      for (std::size_t c = 0; c < points_.cols(); ++c)
+        seed_pts(s, c) = points_(seeds[s], c);
+    graph::KdTree tree(seed_pts);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto nn = tree.query(points_.row(i), 1);
+      score[i] = seed_loss[nn.index.empty() ? 0 : nn.index[0]];
+    }
+  }
+
+  rebuild_table(score);
+  last_refresh_ = iteration;
+  ever_refreshed_ = true;
+  refresh_seconds_ += timer.elapsed_s();
+}
+
+void MisSampler::rebuild_table(const std::vector<double>& score) {
+  const std::size_t n = score.size();
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = std::pow(std::max(score[i], 0.0), opt_.exponent);
+    total += w[i];
+  }
+  if (total <= 0.0) {
+    std::fill(w.begin(), w.end(), 1.0);
+    total = static_cast<double>(n);
+  }
+  const double floor_mass = opt_.uniform_floor / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = (1.0 - opt_.uniform_floor) * (w[i] / total) + floor_mass;
+  table_ = std::make_unique<AliasTable>(w);
+}
+
+double MisSampler::probability(std::uint32_t i) const {
+  return table_ ? table_->probability(i)
+                : 1.0 / static_cast<double>(points_.rows());
+}
+
+}  // namespace sgm::samplers

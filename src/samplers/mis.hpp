@@ -1,0 +1,59 @@
+#pragma once
+// Loss-proportional importance sampling (Nabian, Gladstone & Meidani 2021)
+// as shipped in Modulus — the paper's "MIS" comparison arm.
+//
+// Every `refresh_every` iterations the sampler re-evaluates losses and sets
+// the sampling probability of each point proportional to (loss)^exponent
+// (Eq. 7 of the paper). Two refresh modes:
+//   * full      — evaluate every point (Modulus default; expensive, the
+//                 overhead the paper criticizes);
+//   * seeded    — evaluate `num_seeds` random seeds and assign each point
+//                 the loss of its nearest seed, piecewise-constant (the
+//                 cheaper scheme described in [18] and Section 3.4).
+
+#include <memory>
+
+#include "graph/knn.hpp"
+#include "samplers/sampler.hpp"
+#include "tensor/matrix.hpp"
+
+namespace sgm::samplers {
+
+struct MisOptions {
+  std::uint64_t refresh_every = 7000;  ///< tau_e in the paper's experiments
+  /// 0 = full refresh; otherwise the number of random seeds.
+  std::size_t num_seeds = 0;
+  /// P ∝ loss^exponent; 1 matches Eq. 7.
+  double exponent = 1.0;
+  /// Mixing floor: P = (1-floor)*P_loss + floor*uniform. Keeps every point
+  /// reachable (Modulus uses a similar safeguard).
+  double uniform_floor = 0.05;
+};
+
+class MisSampler final : public Sampler {
+ public:
+  /// `points` must outlive the sampler (used for nearest-seed assignment).
+  MisSampler(const tensor::Matrix& points, const MisOptions& options);
+
+  std::string name() const override { return "mis"; }
+
+  std::vector<std::uint32_t> next_batch(std::size_t batch_size,
+                                        util::Rng& rng) override;
+
+  void maybe_refresh(std::uint64_t iteration, const LossEvaluator& evaluate,
+                     util::Rng& rng) override;
+
+  /// Current normalized probability of a point (diagnostics/tests).
+  double probability(std::uint32_t i) const;
+
+ private:
+  void rebuild_table(const std::vector<double>& score);
+
+  const tensor::Matrix& points_;
+  MisOptions opt_;
+  std::unique_ptr<AliasTable> table_;
+  std::uint64_t last_refresh_ = 0;
+  bool ever_refreshed_ = false;
+};
+
+}  // namespace sgm::samplers

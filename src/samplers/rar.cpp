@@ -1,0 +1,68 @@
+#include "samplers/rar.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sgm::samplers {
+
+RarSampler::RarSampler(std::uint32_t num_points, const RarOptions& options,
+                       util::Rng& rng)
+    : num_points_(num_points), opt_(options), in_active_(num_points, false) {
+  const std::uint32_t init = static_cast<std::uint32_t>(
+      std::min<std::size_t>(opt_.initial_points, num_points));
+  active_ = rng.sample_without_replacement(num_points, init);
+  for (std::uint32_t i : active_) in_active_[i] = true;
+}
+
+std::vector<std::uint32_t> RarSampler::next_batch(std::size_t batch_size,
+                                                  util::Rng& rng) {
+  std::vector<std::uint32_t> batch(batch_size);
+  for (auto& b : batch)
+    b = active_[rng.uniform_index(active_.size())];
+  return batch;
+}
+
+void RarSampler::maybe_refresh(std::uint64_t iteration,
+                               const LossEvaluator& evaluate, util::Rng& rng) {
+  if (iteration - last_refresh_ < opt_.refresh_every || iteration == 0) return;
+  if (active_.size() >= num_points_) return;
+  util::WallTimer timer;
+
+  // Score a random candidate pool of distinct not-yet-active points.
+  std::vector<std::uint32_t> pool;
+  pool.reserve(opt_.candidate_pool);
+  std::vector<bool> pooled(num_points_, false);
+  const std::size_t tries = opt_.candidate_pool * 3;
+  for (std::size_t t = 0; t < tries && pool.size() < opt_.candidate_pool; ++t) {
+    const auto i = static_cast<std::uint32_t>(rng.uniform_index(num_points_));
+    if (!in_active_[i] && !pooled[i]) {
+      pooled[i] = true;
+      pool.push_back(i);
+    }
+  }
+  if (pool.empty()) {
+    last_refresh_ = iteration;
+    return;
+  }
+  std::vector<double> loss = evaluate(pool);
+  loss_evaluations_ += pool.size();
+
+  const std::size_t add = std::min(opt_.added_per_refresh, pool.size());
+  std::vector<std::size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(), order.begin() + add, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return loss[a] > loss[b];
+                    });
+  for (std::size_t t = 0; t < add; ++t) {
+    const std::uint32_t idx = pool[order[t]];
+    if (!in_active_[idx]) {
+      in_active_[idx] = true;
+      active_.push_back(idx);
+    }
+  }
+  last_refresh_ = iteration;
+  refresh_seconds_ += timer.elapsed_s();
+}
+
+}  // namespace sgm::samplers

@@ -1,0 +1,41 @@
+#pragma once
+// Residual-based adaptive refinement (RAR, Lu et al., DeepXDE) — the other
+// prior-art strategy the paper's introduction discusses. The active
+// training set starts small and grows by the highest-residual candidates
+// every refresh; batches are drawn uniformly from the active set.
+
+#include "samplers/sampler.hpp"
+
+namespace sgm::samplers {
+
+struct RarOptions {
+  std::uint64_t refresh_every = 7000;
+  std::size_t initial_points = 1024;   ///< active-set size at start
+  std::size_t added_per_refresh = 256; ///< top-residual points added
+  std::size_t candidate_pool = 4096;   ///< random candidates scored each time
+};
+
+class RarSampler final : public Sampler {
+ public:
+  RarSampler(std::uint32_t num_points, const RarOptions& options,
+             util::Rng& rng);
+
+  std::string name() const override { return "rar"; }
+
+  std::vector<std::uint32_t> next_batch(std::size_t batch_size,
+                                        util::Rng& rng) override;
+
+  void maybe_refresh(std::uint64_t iteration, const LossEvaluator& evaluate,
+                     util::Rng& rng) override;
+
+  std::size_t active_size() const { return active_.size(); }
+
+ private:
+  std::uint32_t num_points_;
+  RarOptions opt_;
+  std::vector<std::uint32_t> active_;
+  std::vector<bool> in_active_;
+  std::uint64_t last_refresh_ = 0;
+};
+
+}  // namespace sgm::samplers

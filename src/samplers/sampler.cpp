@@ -1,0 +1,89 @@
+#include "samplers/sampler.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sgm::samplers {
+
+EpochDealer::EpochDealer(std::uint32_t n) {
+  indices_.resize(n);
+  std::iota(indices_.begin(), indices_.end(), std::uint32_t{0});
+}
+
+void EpochDealer::set_epoch(std::vector<std::uint32_t> indices,
+                            util::Rng& rng) {
+  if (indices.empty())
+    throw std::invalid_argument("EpochDealer: empty epoch");
+  indices_ = std::move(indices);
+  rng.shuffle(indices_);
+  shuffled_ = true;
+  cursor_ = 0;
+}
+
+std::vector<std::uint32_t> EpochDealer::next(std::size_t batch_size,
+                                             util::Rng& rng) {
+  if (indices_.empty())
+    throw std::logic_error("EpochDealer: no indices to deal");
+  if (!shuffled_) {
+    rng.shuffle(indices_);
+    shuffled_ = true;
+  }
+  std::vector<std::uint32_t> batch;
+  batch.reserve(batch_size);
+  while (batch.size() < batch_size) {
+    if (cursor_ == indices_.size()) {
+      rng.shuffle(indices_);
+      cursor_ = 0;
+    }
+    batch.push_back(indices_[cursor_++]);
+  }
+  return batch;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasTable: zero total");
+
+  prob_norm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) prob_norm_[i] = weights[i] / total;
+
+  threshold_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = prob_norm_[i] * static_cast<double>(n);
+
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    threshold_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) threshold_[i] = 1.0;
+  for (std::uint32_t i : small) threshold_[i] = 1.0;  // numerical leftovers
+}
+
+std::uint32_t AliasTable::sample(util::Rng& rng) const {
+  const std::size_t n = threshold_.size();
+  const std::uint32_t i =
+      static_cast<std::uint32_t>(rng.uniform_index(n));
+  return rng.uniform() < threshold_[i] ? i : alias_[i];
+}
+
+}  // namespace sgm::samplers

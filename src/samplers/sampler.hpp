@@ -1,0 +1,100 @@
+#pragma once
+// Mini-batch sampling strategies for PINN training.
+//
+// The trainer is sampler-agnostic: each iteration it asks the active
+// Sampler for a batch of collocation-point indices, and once per iteration
+// it offers the sampler a chance to refresh its importance state via a
+// loss-evaluation callback. The callback computes current per-point losses
+// (forward passes only) for the indices the sampler chooses — the sampler
+// is charged for that work in its overhead accounting, which is exactly the
+// cost trade-off the paper studies.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace sgm::samplers {
+
+/// Computes the current training loss (e.g. PDE residual norm) at each of
+/// the given dataset indices. Provided by the trainer.
+using LossEvaluator =
+    std::function<std::vector<double>(const std::vector<std::uint32_t>&)>;
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Draws the next mini-batch of dataset indices.
+  virtual std::vector<std::uint32_t> next_batch(std::size_t batch_size,
+                                                util::Rng& rng) = 0;
+
+  /// Hook called once per training iteration *before* next_batch; the
+  /// sampler refreshes importance state on its own schedule.
+  virtual void maybe_refresh(std::uint64_t iteration,
+                             const LossEvaluator& evaluate, util::Rng& rng) {
+    (void)iteration;
+    (void)evaluate;
+    (void)rng;
+  }
+
+  /// Total wall seconds this sampler has spent refreshing (loss updates,
+  /// graph work, ...). Included in trainer wall time; reported separately
+  /// by the overhead bench.
+  double refresh_seconds() const { return refresh_seconds_; }
+
+  /// Number of extra loss evaluations (forward passes) the sampler caused.
+  std::uint64_t loss_evaluations() const { return loss_evaluations_; }
+
+ protected:
+  double refresh_seconds_ = 0.0;
+  std::uint64_t loss_evaluations_ = 0;
+};
+
+/// Shared helper: shuffled-epoch dealing over an index universe. Batches are
+/// consecutive slices of a permutation that is reshuffled when exhausted —
+/// the classic "epoch" semantics the paper's epochs build on.
+class EpochDealer {
+ public:
+  /// Deal from the fixed universe [0, n).
+  explicit EpochDealer(std::uint32_t n);
+
+  /// Deal from an explicit index multiset (the SGM epoch). Replaces any
+  /// previous epoch and reshuffles.
+  void set_epoch(std::vector<std::uint32_t> indices, util::Rng& rng);
+
+  /// Next `batch_size` indices (wraps and reshuffles at the end).
+  std::vector<std::uint32_t> next(std::size_t batch_size, util::Rng& rng);
+
+  std::size_t epoch_size() const { return indices_.size(); }
+
+ private:
+  std::vector<std::uint32_t> indices_;
+  std::size_t cursor_ = 0;
+  bool shuffled_ = false;
+};
+
+/// Weighted sampling with replacement from a discrete distribution in O(1)
+/// per draw after O(n) setup (Walker alias method). Used by MIS and SGM.
+class AliasTable {
+ public:
+  /// Weights must be non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  std::uint32_t sample(util::Rng& rng) const;
+
+  /// The normalized probability of index i (for tests / diagnostics).
+  double probability(std::uint32_t i) const { return prob_norm_[i]; }
+
+ private:
+  std::vector<double> threshold_;
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> prob_norm_;
+};
+
+}  // namespace sgm::samplers

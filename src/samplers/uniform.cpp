@@ -1,0 +1,3 @@
+#include "samplers/uniform.hpp"
+
+// UniformSampler is header-only; this translation unit anchors the target.

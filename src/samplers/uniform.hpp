@@ -1,0 +1,25 @@
+#pragma once
+// Uniform random sampling — the paper's baseline (U500 / U4000 / U1024 /
+// U4096 arms). Shuffled-epoch semantics over the full dataset.
+
+#include "samplers/sampler.hpp"
+
+namespace sgm::samplers {
+
+class UniformSampler final : public Sampler {
+ public:
+  explicit UniformSampler(std::uint32_t num_points)
+      : dealer_(num_points) {}
+
+  std::string name() const override { return "uniform"; }
+
+  std::vector<std::uint32_t> next_batch(std::size_t batch_size,
+                                        util::Rng& rng) override {
+    return dealer_.next(batch_size, rng);
+  }
+
+ private:
+  EpochDealer dealer_;
+};
+
+}  // namespace sgm::samplers

@@ -1,0 +1,167 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_)
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+void Matrix::fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double Matrix::sum() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+void Matrix::axpy(double alpha, const Matrix& other) {
+  if (!same_shape(other)) throw std::invalid_argument("axpy: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::scale(double alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+namespace {
+void check_mul(const Matrix& a, const Matrix& b, std::size_t ak,
+               std::size_t bk) {
+  if (ak != bk)
+    throw std::invalid_argument("matmul: inner dimension mismatch (" +
+                                std::to_string(a.rows()) + "x" +
+                                std::to_string(a.cols()) + " vs " +
+                                std::to_string(b.rows()) + "x" +
+                                std::to_string(b.cols()) + ")");
+}
+}  // namespace
+
+void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  check_mul(a, b, a.cols(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (c.rows() != m || c.cols() != n)
+    throw std::invalid_argument("matmul_accumulate: output shape mismatch");
+  // i-k-j loop order: streams through B and C rows contiguously.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  matmul_accumulate(a, b, c);
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  check_mul(a, b, a.rows(), b.rows());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a.row(p);
+    const double* brow = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  check_mul(a, b, a.cols(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b.row(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("operator+: shape");
+  Matrix c = a;
+  c.axpy(1.0, b);
+  return c;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("operator-: shape");
+  Matrix c = a;
+  c.axpy(-1.0, b);
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("hadamard: shape");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+Matrix operator*(double s, const Matrix& a) {
+  Matrix c = a;
+  c.scale(s);
+  return c;
+}
+
+Matrix identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+}  // namespace sgm::tensor

@@ -1,0 +1,104 @@
+#pragma once
+// Dense row-major matrix of doubles. This is the numeric workhorse under the
+// autodiff tape, the graph solvers and the CFD reference solvers.
+//
+// Design notes (why not a template / expression library):
+//  * all hot loops in this project are matmuls over small-to-medium shapes
+//    (batch x width), so a plain contiguous buffer with a blocked matmul is
+//    both simple and fast enough on one core;
+//  * doubles everywhere — second-derivative PDE residuals and effective-
+//    resistance estimates are sensitive to cancellation, and the test suite
+//    gradient-checks against 1e-6-level tolerances.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace sgm::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+
+  /// From nested initializer list (row-major); all rows must have equal size.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Raw row pointer (row-major layout).
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(double v);
+  void set_zero() { fill(0.0); }
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Largest |entry|.
+  double max_abs() const;
+
+  /// Sum of all entries.
+  double sum() const;
+
+  /// In-place: this += alpha * other (shapes must match).
+  void axpy(double alpha, const Matrix& other);
+
+  /// In-place scale.
+  void scale(double alpha);
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n). Throws on mismatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C += A * B into an existing matrix (must be pre-shaped m x n).
+void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+Matrix transpose(const Matrix& a);
+
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+
+/// Elementwise product.
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+Matrix operator*(double s, const Matrix& a);
+
+/// Identity matrix n x n.
+Matrix identity(std::size_t n);
+
+}  // namespace sgm::tensor

@@ -1,0 +1,208 @@
+#include "tensor/ops.hpp"
+
+#include <stdexcept>
+
+namespace sgm::tensor {
+
+namespace {
+void check_same_shape(const Tape& t, VarId a, VarId b, const char* op) {
+  if (!t.value(a).same_shape(t.value(b)))
+    throw std::invalid_argument(std::string(op) + ": shape mismatch");
+}
+}  // namespace
+
+VarId add(Tape& t, VarId a, VarId b) {
+  check_same_shape(t, a, b, "add");
+  Matrix v = t.value(a) + t.value(b);
+  return t.emit(std::move(v), {a, b}, [a, b](Tape& tt, VarId self) {
+    tt.accumulate_grad(a, tt.grad(self));
+    tt.accumulate_grad(b, tt.grad(self));
+  });
+}
+
+VarId sub(Tape& t, VarId a, VarId b) {
+  check_same_shape(t, a, b, "sub");
+  Matrix v = t.value(a) - t.value(b);
+  return t.emit(std::move(v), {a, b}, [a, b](Tape& tt, VarId self) {
+    tt.accumulate_grad(a, tt.grad(self));
+    Matrix g = tt.grad(self);
+    g.scale(-1.0);
+    tt.accumulate_grad(b, g);
+  });
+}
+
+VarId mul(Tape& t, VarId a, VarId b) {
+  check_same_shape(t, a, b, "mul");
+  Matrix v = hadamard(t.value(a), t.value(b));
+  return t.emit(std::move(v), {a, b}, [a, b](Tape& tt, VarId self) {
+    tt.accumulate_grad(a, hadamard(tt.grad(self), tt.value(b)));
+    tt.accumulate_grad(b, hadamard(tt.grad(self), tt.value(a)));
+  });
+}
+
+VarId scale(Tape& t, VarId a, double s) {
+  Matrix v = t.value(a);
+  v.scale(s);
+  return t.emit(std::move(v), {a}, [a, s](Tape& tt, VarId self) {
+    Matrix g = tt.grad(self);
+    g.scale(s);
+    tt.accumulate_grad(a, g);
+  });
+}
+
+VarId add_scalar(Tape& t, VarId a, double s) {
+  Matrix v = t.value(a);
+  for (std::size_t i = 0; i < v.size(); ++i) v.data()[i] += s;
+  return t.emit(std::move(v), {a}, [a](Tape& tt, VarId self) {
+    tt.accumulate_grad(a, tt.grad(self));
+  });
+}
+
+VarId matmul(Tape& t, VarId a, VarId b) {
+  Matrix v = sgm::tensor::matmul(t.value(a), t.value(b));
+  return t.emit(std::move(v), {a, b}, [a, b](Tape& tt, VarId self) {
+    const Matrix& g = tt.grad(self);
+    if (tt.requires_grad(a)) tt.accumulate_grad(a, matmul_nt(g, tt.value(b)));
+    if (tt.requires_grad(b)) tt.accumulate_grad(b, matmul_tn(tt.value(a), g));
+  });
+}
+
+VarId add_rowvec(Tape& t, VarId x, VarId b) {
+  const Matrix& xv = t.value(x);
+  const Matrix& bv = t.value(b);
+  if (bv.rows() != 1 || bv.cols() != xv.cols())
+    throw std::invalid_argument("add_rowvec: b must be 1 x cols(x)");
+  Matrix v = xv;
+  for (std::size_t r = 0; r < v.rows(); ++r) {
+    double* row = v.row(r);
+    for (std::size_t c = 0; c < v.cols(); ++c) row[c] += bv(0, c);
+  }
+  return t.emit(std::move(v), {x, b}, [x, b](Tape& tt, VarId self) {
+    const Matrix& g = tt.grad(self);
+    tt.accumulate_grad(x, g);
+    if (tt.requires_grad(b)) {
+      Matrix gb(1, g.cols());
+      for (std::size_t r = 0; r < g.rows(); ++r)
+        for (std::size_t c = 0; c < g.cols(); ++c) gb(0, c) += g(r, c);
+      tt.accumulate_grad(b, gb);
+    }
+  });
+}
+
+VarId apply(Tape& t, VarId a, const ElementwiseFunction& f, int order) {
+  const Matrix& av = t.value(a);
+  Matrix v(av.rows(), av.cols());
+  for (std::size_t i = 0; i < av.size(); ++i)
+    v.data()[i] = f.eval(av.data()[i], order);
+  const ElementwiseFunction* fp = &f;
+  return t.emit(std::move(v), {a}, [a, fp, order](Tape& tt, VarId self) {
+    const Matrix& g = tt.grad(self);
+    const Matrix& av2 = tt.value(a);
+    Matrix ga(av2.rows(), av2.cols());
+    for (std::size_t i = 0; i < av2.size(); ++i)
+      ga.data()[i] = g.data()[i] * fp->eval(av2.data()[i], order + 1);
+    tt.accumulate_grad(a, ga);
+  });
+}
+
+VarId square(Tape& t, VarId a) {
+  const Matrix& av = t.value(a);
+  Matrix v(av.rows(), av.cols());
+  for (std::size_t i = 0; i < av.size(); ++i)
+    v.data()[i] = av.data()[i] * av.data()[i];
+  return t.emit(std::move(v), {a}, [a](Tape& tt, VarId self) {
+    const Matrix& g = tt.grad(self);
+    const Matrix& av2 = tt.value(a);
+    Matrix ga(av2.rows(), av2.cols());
+    for (std::size_t i = 0; i < av2.size(); ++i)
+      ga.data()[i] = 2.0 * g.data()[i] * av2.data()[i];
+    tt.accumulate_grad(a, ga);
+  });
+}
+
+VarId col(Tape& t, VarId a, std::size_t j) {
+  const Matrix& av = t.value(a);
+  if (j >= av.cols()) throw std::out_of_range("col: column out of range");
+  Matrix v(av.rows(), 1);
+  for (std::size_t r = 0; r < av.rows(); ++r) v(r, 0) = av(r, j);
+  return t.emit(std::move(v), {a}, [a, j](Tape& tt, VarId self) {
+    const Matrix& g = tt.grad(self);
+    const Matrix& av2 = tt.value(a);
+    Matrix ga(av2.rows(), av2.cols());
+    for (std::size_t r = 0; r < av2.rows(); ++r) ga(r, j) = g(r, 0);
+    tt.accumulate_grad(a, ga);
+  });
+}
+
+VarId mean_all(Tape& t, VarId a) {
+  const Matrix& av = t.value(a);
+  if (av.size() == 0) throw std::invalid_argument("mean_all: empty matrix");
+  Matrix v(1, 1, av.sum() / static_cast<double>(av.size()));
+  const double inv_n = 1.0 / static_cast<double>(av.size());
+  return t.emit(std::move(v), {a}, [a, inv_n](Tape& tt, VarId self) {
+    const double g = tt.grad(self)(0, 0) * inv_n;
+    const Matrix& av2 = tt.value(a);
+    Matrix ga(av2.rows(), av2.cols(), g);
+    tt.accumulate_grad(a, ga);
+  });
+}
+
+VarId sum_all(Tape& t, VarId a) {
+  const Matrix& av = t.value(a);
+  Matrix v(1, 1, av.sum());
+  return t.emit(std::move(v), {a}, [a](Tape& tt, VarId self) {
+    const double g = tt.grad(self)(0, 0);
+    const Matrix& av2 = tt.value(a);
+    Matrix ga(av2.rows(), av2.cols(), g);
+    tt.accumulate_grad(a, ga);
+  });
+}
+
+VarId weighted_mean(Tape& t, VarId a, const Matrix& weights) {
+  const Matrix& av = t.value(a);
+  if (!av.same_shape(weights))
+    throw std::invalid_argument("weighted_mean: shape mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < av.size(); ++i)
+    s += av.data()[i] * weights.data()[i];
+  const double inv_n = 1.0 / static_cast<double>(av.size());
+  Matrix v(1, 1, s * inv_n);
+  Matrix w = weights;  // copy captured by the closure
+  return t.emit(std::move(v), {a},
+                [a, w = std::move(w), inv_n](Tape& tt, VarId self) {
+                  const double g = tt.grad(self)(0, 0) * inv_n;
+                  Matrix ga = w;
+                  ga.scale(g);
+                  tt.accumulate_grad(a, ga);
+                });
+}
+
+VarId hcat(Tape& t, VarId a, VarId b) {
+  const Matrix& av = t.value(a);
+  const Matrix& bv = t.value(b);
+  if (av.rows() != bv.rows())
+    throw std::invalid_argument("hcat: row count mismatch");
+  Matrix v(av.rows(), av.cols() + bv.cols());
+  for (std::size_t r = 0; r < av.rows(); ++r) {
+    for (std::size_t c = 0; c < av.cols(); ++c) v(r, c) = av(r, c);
+    for (std::size_t c = 0; c < bv.cols(); ++c) v(r, av.cols() + c) = bv(r, c);
+  }
+  const std::size_t ac = av.cols(), bc = bv.cols();
+  return t.emit(std::move(v), {a, b}, [a, b, ac, bc](Tape& tt, VarId self) {
+    const Matrix& g = tt.grad(self);
+    if (tt.requires_grad(a)) {
+      Matrix ga(g.rows(), ac);
+      for (std::size_t r = 0; r < g.rows(); ++r)
+        for (std::size_t c = 0; c < ac; ++c) ga(r, c) = g(r, c);
+      tt.accumulate_grad(a, ga);
+    }
+    if (tt.requires_grad(b)) {
+      Matrix gb(g.rows(), bc);
+      for (std::size_t r = 0; r < g.rows(); ++r)
+        for (std::size_t c = 0; c < bc; ++c) gb(r, c) = g(r, ac + c);
+      tt.accumulate_grad(b, gb);
+    }
+  });
+}
+
+}  // namespace sgm::tensor

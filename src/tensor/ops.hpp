@@ -1,0 +1,66 @@
+#pragma once
+// Differentiable ops recorded on the Tape. Each function computes the primal
+// value eagerly and registers a closure implementing its vector-Jacobian
+// product. Shapes are validated at record time, so shape bugs surface at the
+// call site rather than inside backward().
+
+#include "tensor/matrix.hpp"
+#include "tensor/tape.hpp"
+
+namespace sgm::tensor {
+
+/// Elementwise scalar function with analytic derivatives up to order 3.
+/// `eval(x, k)` returns d^k f / dx^k at x. Implementations must be
+/// long-lived (the tape stores raw pointers to them); activations in sgm::nn
+/// are stateless singletons, which satisfies this.
+class ElementwiseFunction {
+ public:
+  virtual ~ElementwiseFunction() = default;
+  virtual double eval(double x, int order) const = 0;
+};
+
+/// c = a + b (same shape).
+VarId add(Tape& t, VarId a, VarId b);
+
+/// c = a - b (same shape).
+VarId sub(Tape& t, VarId a, VarId b);
+
+/// c = a ⊙ b (elementwise, same shape).
+VarId mul(Tape& t, VarId a, VarId b);
+
+/// c = s * a (s is a compile-time constant w.r.t. differentiation).
+VarId scale(Tape& t, VarId a, double s);
+
+/// c = a + s (elementwise constant shift).
+VarId add_scalar(Tape& t, VarId a, double s);
+
+/// c = A * B (matrix product).
+VarId matmul(Tape& t, VarId a, VarId b);
+
+/// c = X + 1⊗b : adds row vector b (1 x d) to every row of X (n x d).
+VarId add_rowvec(Tape& t, VarId x, VarId b);
+
+/// c = f^(order)(a) applied elementwise. Backward uses f^(order+1).
+/// `f` must outlive the tape.
+VarId apply(Tape& t, VarId a, const ElementwiseFunction& f, int order = 0);
+
+/// c = a ⊙ a.
+VarId square(Tape& t, VarId a);
+
+/// Column j of a as an (n x 1) matrix.
+VarId col(Tape& t, VarId a, std::size_t j);
+
+/// Scalar (1x1) mean of all entries.
+VarId mean_all(Tape& t, VarId a);
+
+/// Scalar (1x1) sum of all entries.
+VarId sum_all(Tape& t, VarId a);
+
+/// Scalar (1x1) weighted mean: sum_i w_i * a_i / n, with constant weights w
+/// (same shape as a). Used for per-point loss weighting.
+VarId weighted_mean(Tape& t, VarId a, const Matrix& weights);
+
+/// Horizontal concatenation of (n x c1) and (n x c2) into (n x c1+c2).
+VarId hcat(Tape& t, VarId a, VarId b);
+
+}  // namespace sgm::tensor

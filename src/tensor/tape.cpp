@@ -1,0 +1,65 @@
+#include "tensor/tape.hpp"
+
+#include <stdexcept>
+
+namespace sgm::tensor {
+
+VarId Tape::constant(Matrix value) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = false;
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::parameter(Matrix value) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = true;
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::emit(Matrix value, std::vector<VarId> inputs,
+                 BackwardFn backward) {
+  Node n;
+  n.value = std::move(value);
+  n.inputs = std::move(inputs);
+  for (VarId in : n.inputs) {
+    if (in < 0 || in >= static_cast<VarId>(nodes_.size()))
+      throw std::out_of_range("Tape::emit: bad input id");
+    if (nodes_[in].requires_grad) n.requires_grad = true;
+  }
+  if (n.requires_grad) n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+void Tape::accumulate_grad(VarId id, const Matrix& delta) {
+  Node& n = nodes_[id];
+  if (!n.requires_grad) return;
+  if (n.grad.empty()) {
+    n.grad = delta;
+  } else {
+    n.grad.axpy(1.0, delta);
+  }
+}
+
+void Tape::backward(VarId root) {
+  if (root < 0 || root >= static_cast<VarId>(nodes_.size()))
+    throw std::out_of_range("Tape::backward: bad root id");
+  const Matrix& rv = nodes_[root].value;
+  if (rv.rows() != 1 || rv.cols() != 1)
+    throw std::invalid_argument("Tape::backward: root must be a 1x1 scalar");
+  for (auto& n : nodes_) n.grad = Matrix();
+  nodes_[root].grad = Matrix(1, 1, 1.0);
+  for (VarId id = root; id >= 0; --id) {
+    Node& n = nodes_[id];
+    if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
+    n.backward(*this, id);
+  }
+}
+
+void Tape::clear() { nodes_.clear(); }
+
+}  // namespace sgm::tensor

@@ -1,0 +1,70 @@
+#pragma once
+// Reverse-mode automatic differentiation over Matrix values.
+//
+// The tape is rebuilt every training step (define-by-run): the MLP forward
+// pass — including the propagation of input-Jacobians and input-Hessian
+// diagonals needed by PDE residuals — is recorded as a sequence of Matrix
+// ops, and one backward() sweep produces gradients w.r.t. every parameter
+// leaf. Nodes are topologically ordered by construction, so the backward
+// sweep is a simple reverse iteration.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace sgm::tensor {
+
+using VarId = std::int32_t;
+inline constexpr VarId kNoVar = -1;
+
+class Tape {
+ public:
+  /// Called during backward(); must read grad(self) and accumulate into the
+  /// grads of its inputs via accumulate_grad().
+  using BackwardFn = std::function<void(Tape&, VarId self)>;
+
+  /// Leaf that never receives a gradient (e.g. collocation coordinates).
+  VarId constant(Matrix value);
+
+  /// Leaf that accumulates a gradient (network weights / biases).
+  VarId parameter(Matrix value);
+
+  /// Record an op node. `requires_grad` is inferred from the inputs.
+  VarId emit(Matrix value, std::vector<VarId> inputs, BackwardFn backward);
+
+  const Matrix& value(VarId id) const { return nodes_[id].value; }
+  Matrix& mutable_value(VarId id) { return nodes_[id].value; }
+
+  /// Gradient of the last backward() root w.r.t. node `id`. Empty matrix if
+  /// the node never received a gradient.
+  const Matrix& grad(VarId id) const { return nodes_[id].grad; }
+
+  bool requires_grad(VarId id) const { return nodes_[id].requires_grad; }
+
+  /// Accumulate `delta` into grad(id) (allocating it on first touch).
+  /// No-op when the node does not require grad.
+  void accumulate_grad(VarId id, const Matrix& delta);
+
+  /// Runs reverse-mode accumulation from `root`, which must be 1x1.
+  /// Clears any previous gradients first.
+  void backward(VarId root);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Drop all nodes; capacity is retained so per-step reuse is cheap.
+  void clear();
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;  // empty until touched by backward
+    std::vector<VarId> inputs;
+    BackwardFn backward;
+    bool requires_grad = false;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sgm::tensor

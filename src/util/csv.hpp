@@ -1,0 +1,36 @@
+#pragma once
+// Minimal CSV writer for trainer telemetry and bench outputs.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sgm::util {
+
+/// Writes rows of doubles/strings under a fixed header. Values are emitted
+/// with enough precision to round-trip doubles.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Emits one row; size must match the header. Flushes on every row so
+  /// partial runs still leave usable telemetry.
+  void row(const std::vector<double>& values);
+
+  /// Mixed row of pre-formatted cells.
+  void row_strings(const std::vector<std::string>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Formats a double compactly ("%.9g").
+std::string format_double(double v);
+
+}  // namespace sgm::util

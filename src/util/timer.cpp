@@ -1,0 +1,25 @@
+#include "util/timer.hpp"
+
+namespace sgm::util {
+
+void PhaseAccumulator::add(const std::string& name, double seconds) {
+  totals_[name] += seconds;
+  counts_[name] += 1;
+}
+
+double PhaseAccumulator::total(const std::string& name) const {
+  auto it = totals_.find(name);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+std::uint64_t PhaseAccumulator::count(const std::string& name) const {
+  auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void PhaseAccumulator::clear() {
+  totals_.clear();
+  counts_.clear();
+}
+
+}  // namespace sgm::util

@@ -1,0 +1,218 @@
+// Tests for the validation-data substrate: the lid-driven-cavity FDM solver
+// (against the published Ghia et al. 1982 benchmark profiles) and the
+// analytic annular-Poiseuille reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cfd/analytic.hpp"
+#include "cfd/ldc_solver.hpp"
+
+namespace {
+
+using sgm::cfd::AnnularPoiseuille;
+using sgm::cfd::LdcOptions;
+using sgm::cfd::LdcSolution;
+
+const LdcSolution& solved_cavity_re100() {
+  static const LdcSolution sol = [] {
+    LdcOptions opt;
+    opt.n = 81;
+    opt.reynolds = 100.0;
+    opt.tolerance = 1e-7;
+    return sgm::cfd::solve_lid_driven_cavity(opt);
+  }();
+  return sol;
+}
+
+TEST(LdcSolver, Converges) {
+  const auto& sol = solved_cavity_re100();
+  EXPECT_TRUE(sol.converged);
+  EXPECT_GT(sol.iterations, 10);
+}
+
+TEST(LdcSolver, BoundaryConditionsHold) {
+  const auto& sol = solved_cavity_re100();
+  const int n = sol.n;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(sol.u(0, i), 0.0);          // bottom wall
+    EXPECT_DOUBLE_EQ(sol.u(n - 1, i), 1.0);      // moving lid
+    EXPECT_DOUBLE_EQ(sol.v(0, i), 0.0);
+  }
+  // Side walls: skip j = n-1 (the lid corners belong to the moving lid).
+  for (int j = 0; j < n - 1; ++j) {
+    EXPECT_DOUBLE_EQ(sol.u(j, 0), 0.0);          // left wall
+    EXPECT_DOUBLE_EQ(sol.u(j, n - 1), 0.0);      // right wall
+  }
+}
+
+TEST(LdcSolver, MatchesGhiaUCenterline) {
+  const auto& sol = solved_cavity_re100();
+  for (const auto& [y, u_ref] : sgm::cfd::ghia_re100_u_centerline()) {
+    const double u = sol.sample_u(0.5, y);
+    // First-order upwind on an 81^2 grid: expect agreement within ~0.035.
+    EXPECT_NEAR(u, u_ref, 0.035) << "at y=" << y;
+  }
+}
+
+TEST(LdcSolver, MatchesGhiaVCenterline) {
+  const auto& sol = solved_cavity_re100();
+  for (const auto& [x, v_ref] : sgm::cfd::ghia_re100_v_centerline()) {
+    const double v = sol.sample_v(x, 0.5);
+    EXPECT_NEAR(v, v_ref, 0.035) << "at x=" << x;
+  }
+}
+
+TEST(LdcSolver, MassConservationInBulk) {
+  // Continuity: du/dx + dv/dy ~ 0 away from walls (central differences).
+  const auto& sol = solved_cavity_re100();
+  const int n = sol.n;
+  const double h = sol.h;
+  double worst = 0.0;
+  for (int j = n / 4; j < 3 * n / 4; ++j) {
+    for (int i = n / 4; i < 3 * n / 4; ++i) {
+      const double div = (sol.u(j, i + 1) - sol.u(j, i - 1)) / (2 * h) +
+                         (sol.v(j + 1, i) - sol.v(j - 1, i)) / (2 * h);
+      worst = std::max(worst, std::fabs(div));
+    }
+  }
+  EXPECT_LT(worst, 0.15);  // discrete divergence of the derived velocities
+}
+
+TEST(LdcSolver, StreamfunctionMinimumLocation) {
+  // The Re=100 primary vortex center sits near (0.6172, 0.7344) (Ghia).
+  const auto& sol = solved_cavity_re100();
+  double best = 1e9;
+  double bx = 0, by = 0;
+  for (int j = 1; j < sol.n - 1; ++j)
+    for (int i = 1; i < sol.n - 1; ++i)
+      if (sol.psi(j, i) < best) {
+        best = sol.psi(j, i);
+        bx = i * sol.h;
+        by = j * sol.h;
+      }
+  EXPECT_NEAR(bx, 0.6172, 0.06);
+  EXPECT_NEAR(by, 0.7344, 0.06);
+  EXPECT_NEAR(best, -0.1034, 0.015);  // Ghia's psi_min at Re=100
+}
+
+TEST(LdcSolver, RejectsBadOptions) {
+  LdcOptions bad;
+  bad.n = 4;
+  EXPECT_THROW(sgm::cfd::solve_lid_driven_cavity(bad), std::invalid_argument);
+  bad.n = 32;
+  bad.reynolds = -1;
+  EXPECT_THROW(sgm::cfd::solve_lid_driven_cavity(bad), std::invalid_argument);
+}
+
+TEST(LdcSolver, BilinearSamplingInterpolates) {
+  const auto& sol = solved_cavity_re100();
+  // At grid nodes sampling returns the stored value.
+  EXPECT_NEAR(sol.sample_u(0.5, 1.0), 1.0, 1e-12);
+  // Clamps out-of-range coordinates.
+  EXPECT_NO_THROW(sol.sample_u(-0.5, 2.0));
+}
+
+// ----------------------------------------------------- annular Poiseuille --
+
+TEST(AnnularPoiseuille, NoSlipAtWalls) {
+  AnnularPoiseuille ap;
+  ap.r_inner = 1.0;
+  ap.r_outer = 2.0;
+  EXPECT_NEAR(ap.axial_velocity(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(ap.axial_velocity(2.0), 0.0, 1e-12);
+  EXPECT_GT(ap.axial_velocity(1.5), 0.0);
+}
+
+TEST(AnnularPoiseuille, SatisfiesMomentumOde) {
+  // nu * (u'' + u'/r) = dp/dz = -g, verified by central differences.
+  AnnularPoiseuille ap;
+  ap.r_inner = 0.8;
+  ap.r_outer = 2.0;
+  ap.pressure_gradient = 1.3;
+  ap.nu = 0.1;
+  const double h = 1e-5;
+  for (double r : {0.9, 1.2, 1.5, 1.9}) {
+    const double u0 = ap.axial_velocity(r);
+    const double up = ap.axial_velocity(r + h);
+    const double um = ap.axial_velocity(r - h);
+    const double d1 = (up - um) / (2 * h);
+    const double d2 = (up - 2 * u0 + um) / (h * h);
+    EXPECT_NEAR(ap.nu * (d2 + d1 / r), -ap.pressure_gradient, 1e-4)
+        << "at r=" << r;
+  }
+}
+
+TEST(AnnularPoiseuille, MaxAtZeroShearRadius) {
+  AnnularPoiseuille ap;
+  ap.r_inner = 0.75;
+  ap.r_outer = 2.0;
+  const double rm = ap.zero_shear_radius();
+  EXPECT_GT(rm, ap.r_inner);
+  EXPECT_LT(rm, ap.r_outer);
+  const double h = 1e-6;
+  const double slope =
+      (ap.axial_velocity(rm + h) - ap.axial_velocity(rm - h)) / (2 * h);
+  EXPECT_NEAR(slope, 0.0, 1e-6);
+  EXPECT_NEAR(ap.max_velocity(), ap.axial_velocity(rm), 1e-12);
+}
+
+TEST(AnnularPoiseuille, MeanVelocityMatchesQuadrature) {
+  AnnularPoiseuille ap;
+  ap.r_inner = 1.0;
+  ap.r_outer = 2.0;
+  // Numerical Q = int 2 pi r u dr via Simpson on a fine grid.
+  const int n = 2000;
+  const double h = (ap.r_outer - ap.r_inner) / n;
+  double q = 0;
+  for (int i = 0; i <= n; ++i) {
+    const double r = ap.r_inner + i * h;
+    const double w = (i == 0 || i == n) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+    q += w * 2 * M_PI * r * ap.axial_velocity(r);
+  }
+  q *= h / 3.0;
+  const double area = M_PI * (ap.r_outer * ap.r_outer - ap.r_inner * ap.r_inner);
+  EXPECT_NEAR(ap.mean_velocity(), q / area, 1e-6);
+}
+
+TEST(AnnularPoiseuille, PressureLinearInZ) {
+  AnnularPoiseuille ap;
+  ap.pressure_gradient = 2.0;
+  EXPECT_DOUBLE_EQ(ap.pressure(0.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(ap.pressure(3.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ap.pressure(1.5, 3.0), 3.0);
+}
+
+TEST(AnnularPoiseuille, RejectsDegenerateGeometry) {
+  AnnularPoiseuille ap;
+  ap.r_inner = 2.0;
+  ap.r_outer = 1.0;
+  EXPECT_THROW(ap.axial_velocity(1.5), std::invalid_argument);
+}
+
+TEST(PlanePoiseuille, ParabolicProfile) {
+  const double h = 2.0, g = 1.0, nu = 0.1;
+  EXPECT_DOUBLE_EQ(sgm::cfd::plane_poiseuille_velocity(0.0, h, g, nu), 0.0);
+  EXPECT_DOUBLE_EQ(sgm::cfd::plane_poiseuille_velocity(h, h, g, nu), 0.0);
+  const double mid = sgm::cfd::plane_poiseuille_velocity(1.0, h, g, nu);
+  EXPECT_NEAR(mid, g * 1.0 * 1.0 / (2 * nu), 1e-12);
+}
+
+TEST(PoissonManufactured, RhsMatchesNegativeLaplacian) {
+  const double h = 1e-5;
+  for (double x : {0.2, 0.5, 0.8}) {
+    for (double y : {0.3, 0.7}) {
+      const double lap =
+          (sgm::cfd::poisson_manufactured_solution(x + h, y) +
+           sgm::cfd::poisson_manufactured_solution(x - h, y) +
+           sgm::cfd::poisson_manufactured_solution(x, y + h) +
+           sgm::cfd::poisson_manufactured_solution(x, y - h) -
+           4 * sgm::cfd::poisson_manufactured_solution(x, y)) /
+          (h * h);
+      EXPECT_NEAR(-lap, sgm::cfd::poisson_manufactured_rhs(x, y), 1e-4);
+    }
+  }
+}
+
+}  // namespace

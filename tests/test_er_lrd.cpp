@@ -1,0 +1,275 @@
+// Tests for effective-resistance estimation (exact / JL / smoothed) and the
+// LRD decomposition invariants that make SGM-PINN's clusters meaningful.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/effective_resistance.hpp"
+#include "graph/knn.hpp"
+#include "graph/lrd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using sgm::graph::Clustering;
+using sgm::graph::CsrGraph;
+using sgm::graph::Edge;
+using sgm::graph::ErMethod;
+using sgm::graph::ErOptions;
+using sgm::graph::LrdOptions;
+using sgm::tensor::Matrix;
+
+CsrGraph path_graph(std::uint32_t n, double w = 1.0) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, w});
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+CsrGraph grid_graph(std::uint32_t nx, std::uint32_t ny) {
+  std::vector<Edge> edges;
+  auto id = [nx](std::uint32_t x, std::uint32_t y) { return y * nx + x; };
+  for (std::uint32_t y = 0; y < ny; ++y)
+    for (std::uint32_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) edges.push_back({id(x, y), id(x + 1, y), 1.0});
+      if (y + 1 < ny) edges.push_back({id(x, y), id(x, y + 1), 1.0});
+    }
+  return CsrGraph::from_edges(nx * ny, std::move(edges));
+}
+
+// ------------------------------------------------------ exact ER formulas --
+
+TEST(EffectiveResistance, ExactOnPathIsAdditive) {
+  // Series resistors: R(0, j) = j / w on a unit path.
+  CsrGraph g = path_graph(8, 2.0);
+  for (std::uint32_t j = 1; j < 8; ++j) {
+    EXPECT_NEAR(sgm::graph::exact_effective_resistance(g, 0, j), j / 2.0,
+                1e-8);
+  }
+}
+
+TEST(EffectiveResistance, ExactOnCycleIsParallel) {
+  // Cycle of n unit edges: R(u,v) over k hops = k(n-k)/n.
+  const std::uint32_t n = 6;
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n, 1.0});
+  CsrGraph g = CsrGraph::from_edges(n, std::move(edges));
+  for (std::uint32_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(sgm::graph::exact_effective_resistance(g, 0, k),
+                static_cast<double>(k) * (n - k) / n, 1e-8);
+  }
+}
+
+TEST(EffectiveResistance, ExactEqualsFosterOnTriangle) {
+  // Complete graph K3 with unit weights: R between any pair = 2/3.
+  CsrGraph g =
+      CsrGraph::from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  EXPECT_NEAR(sgm::graph::exact_effective_resistance(g, 0, 1), 2.0 / 3.0,
+              1e-9);
+}
+
+// ---------------------------------------------------------- JL estimation --
+
+TEST(EffectiveResistance, JlMatchesExactOnGrid) {
+  CsrGraph g = grid_graph(6, 6);
+  ErOptions exact_opt;
+  exact_opt.method = ErMethod::kExact;
+  const Matrix z_exact = sgm::graph::effective_resistance_embedding(g, exact_opt);
+  ErOptions jl;
+  jl.method = ErMethod::kJlSolve;
+  jl.num_vectors = 64;  // generous sketch for a tight test
+  jl.seed = 5;
+  const Matrix z_jl = sgm::graph::effective_resistance_embedding(g, jl);
+
+  const auto exact = sgm::graph::edge_effective_resistance(g, z_exact);
+  const auto approx = sgm::graph::edge_effective_resistance(g, z_jl);
+  // JL concentration: per-edge error ~ 1/sqrt(num_vectors); check the mean
+  // relative error tightly and the worst edge loosely.
+  double mean_rel = 0.0, max_rel = 0.0;
+  for (std::size_t e = 0; e < exact.size(); ++e) {
+    const double rel = std::fabs(approx[e] - exact[e]) / exact[e];
+    mean_rel += rel;
+    max_rel = std::max(max_rel, rel);
+  }
+  mean_rel /= static_cast<double>(exact.size());
+  EXPECT_LT(mean_rel, 0.15);
+  EXPECT_LT(max_rel, 0.60);
+}
+
+TEST(EffectiveResistance, FosterSumCheck) {
+  // Foster's theorem: sum over edges of w_e * R_e = n - 1 (connected graph).
+  CsrGraph g = grid_graph(5, 4);
+  ErOptions opt;
+  opt.method = ErMethod::kExact;
+  const Matrix z = sgm::graph::effective_resistance_embedding(g, opt);
+  const auto er = sgm::graph::edge_effective_resistance(g, z);
+  double total = 0;
+  for (std::size_t e = 0; e < er.size(); ++e)
+    total += g.edge(static_cast<sgm::graph::EdgeId>(e)).w * er[e];
+  EXPECT_NEAR(total, g.num_nodes() - 1.0, 1e-6);
+}
+
+TEST(EffectiveResistance, SmoothedPreservesRankOrderGrossly) {
+  // The smoothed estimator is only rank-preserving; verify that the known
+  // extremes order correctly: a pendant edge has much higher ER than a
+  // well-embedded interior edge.
+  std::vector<Edge> edges;
+  CsrGraph grid = grid_graph(8, 8);
+  edges = grid.edges();
+  const std::uint32_t pendant = 64;
+  edges.push_back({0, pendant, 0.05});  // weak pendant edge: high ER
+  CsrGraph g = CsrGraph::from_edges(65, std::move(edges));
+
+  ErOptions opt;
+  opt.method = ErMethod::kSmoothed;
+  opt.num_vectors = 16;
+  opt.smoothing_iterations = 60;
+  const Matrix z = sgm::graph::effective_resistance_embedding(g, opt);
+  const auto er = sgm::graph::edge_effective_resistance(g, z);
+
+  // Find pendant edge id and an interior edge id.
+  double pendant_er = -1, interior_mean = 0;
+  std::size_t interior_count = 0;
+  for (sgm::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.edge(e).v == pendant) {
+      pendant_er = er[e];
+    } else {
+      interior_mean += er[e];
+      ++interior_count;
+    }
+  }
+  interior_mean /= static_cast<double>(interior_count);
+  EXPECT_GT(pendant_er, 3.0 * interior_mean);
+}
+
+// ------------------------------------------------------------------- LRD --
+
+Clustering decompose_exact(const CsrGraph& g, int levels,
+                           double budget = 0.0) {
+  LrdOptions opt;
+  opt.levels = levels;
+  opt.diameter_budget = budget;
+  opt.er.method = ErMethod::kExact;
+  return sgm::graph::lrd_decompose(g, opt);
+}
+
+TEST(Lrd, EveryNodeAssignedExactlyOnce) {
+  CsrGraph g = grid_graph(8, 8);
+  Clustering c = decompose_exact(g, 6);
+  EXPECT_EQ(c.node_cluster.size(), g.num_nodes());
+  for (auto cl : c.node_cluster) EXPECT_LT(cl, c.num_clusters);
+  auto sizes = c.sizes();
+  const std::uint32_t total =
+      std::accumulate(sizes.begin(), sizes.end(), 0u);
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(Lrd, ClustersAreConnectedSubgraphs) {
+  CsrGraph g = grid_graph(10, 6);
+  Clustering c = decompose_exact(g, 8);
+  // BFS within each cluster using only intra-cluster edges must reach all
+  // members (merges happen along edges, so this is an invariant).
+  auto members = c.members();
+  for (std::uint32_t cl = 0; cl < c.num_clusters; ++cl) {
+    const auto& m = members[cl];
+    ASSERT_FALSE(m.empty());
+    std::vector<char> seen(g.num_nodes(), 0);
+    std::vector<std::uint32_t> stack = {m[0]};
+    seen[m[0]] = 1;
+    std::size_t reached = 0;
+    while (!stack.empty()) {
+      const auto u = stack.back();
+      stack.pop_back();
+      ++reached;
+      for (auto v : g.neighbors(u)) {
+        if (!seen[v] && c.node_cluster[v] == cl) {
+          seen[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+    EXPECT_EQ(reached, m.size()) << "cluster " << cl;
+  }
+}
+
+TEST(Lrd, TrueDiameterWithinRecordedBound) {
+  // The merge-tree diameter bound must dominate the true pairwise ER within
+  // each cluster (verified with exact ER on a small graph).
+  CsrGraph g = grid_graph(6, 5);
+  Clustering c = decompose_exact(g, 6);
+  ErOptions opt;
+  opt.method = ErMethod::kExact;
+  const Matrix z = sgm::graph::effective_resistance_embedding(g, opt);
+  auto members = c.members();
+  for (std::uint32_t cl = 0; cl < c.num_clusters; ++cl) {
+    const auto& m = members[cl];
+    for (std::size_t a = 0; a < m.size(); ++a)
+      for (std::size_t b = a + 1; b < m.size(); ++b) {
+        const double er = sgm::graph::er_from_embedding(z, m[a], m[b]);
+        EXPECT_LE(er, c.cluster_diameter[cl] + 1e-9)
+            << "pair " << m[a] << "," << m[b] << " in cluster " << cl;
+      }
+  }
+}
+
+TEST(Lrd, MoreLevelsCoarsen) {
+  CsrGraph g = grid_graph(12, 12);
+  const Clustering c2 = decompose_exact(g, 2);
+  const Clustering c10 = decompose_exact(g, 10);
+  EXPECT_LE(c10.num_clusters, c2.num_clusters);
+  EXPECT_GT(c10.num_clusters, 0u);
+  EXPECT_LT(c10.num_clusters, g.num_nodes());  // did merge something
+}
+
+TEST(Lrd, MaxClusterSizeRespected) {
+  CsrGraph g = grid_graph(10, 10);
+  LrdOptions opt;
+  opt.levels = 10;
+  opt.max_cluster_size = 7;
+  opt.er.method = ErMethod::kExact;
+  Clustering c = sgm::graph::lrd_decompose(g, opt);
+  for (auto s : c.sizes()) EXPECT_LE(s, 7u);
+}
+
+TEST(Lrd, TightBudgetMeansNoMerging) {
+  CsrGraph g = grid_graph(6, 6);
+  LrdOptions opt;
+  opt.levels = 4;
+  opt.diameter_budget = 1e-12;  // nothing fits
+  opt.er.method = ErMethod::kExact;
+  Clustering c = sgm::graph::lrd_decompose(g, opt);
+  EXPECT_EQ(c.num_clusters, g.num_nodes());
+}
+
+TEST(Lrd, WorksOnKnnPointCloud) {
+  // End-to-end S1 -> S2 on a realistic cloud: cluster count lands in a
+  // sensible band and clusters are spatially tight.
+  sgm::util::Rng rng(12);
+  Matrix pts(600, 2);
+  for (std::size_t i = 0; i < pts.size(); ++i) pts.data()[i] = rng.uniform();
+  sgm::graph::KnnGraphOptions kopt;
+  kopt.k = 8;
+  CsrGraph g = sgm::graph::build_knn_graph(pts, kopt);
+  LrdOptions opt;
+  opt.levels = 6;
+  opt.er.method = ErMethod::kSmoothed;
+  opt.er.num_vectors = 8;
+  Clustering c = sgm::graph::lrd_decompose(g, opt);
+  EXPECT_GT(c.num_clusters, 10u);
+  EXPECT_LT(c.num_clusters, 600u);
+}
+
+TEST(Lrd, DeterministicForFixedSeed) {
+  CsrGraph g = grid_graph(9, 9);
+  LrdOptions opt;
+  opt.levels = 5;
+  opt.er.method = ErMethod::kSmoothed;
+  opt.er.seed = 77;
+  Clustering a = sgm::graph::lrd_decompose(g, opt);
+  Clustering b = sgm::graph::lrd_decompose(g, opt);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.node_cluster, b.node_cluster);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Tests for the baseline samplers: alias tables, epoch dealing, uniform,
+// MIS (loss-proportional) and RAR.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "samplers/mis.hpp"
+#include "samplers/rar.hpp"
+#include "samplers/sampler.hpp"
+#include "samplers/uniform.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using sgm::samplers::AliasTable;
+using sgm::samplers::EpochDealer;
+using sgm::tensor::Matrix;
+
+TEST(AliasTable, MatchesNormalizedProbabilities) {
+  AliasTable t({1.0, 3.0, 6.0});
+  EXPECT_NEAR(t.probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(t.probability(1), 0.3, 1e-12);
+  EXPECT_NEAR(t.probability(2), 0.6, 1e-12);
+}
+
+TEST(AliasTable, EmpiricalFrequenciesConverge) {
+  AliasTable t({2.0, 1.0, 1.0, 4.0});
+  sgm::util::Rng rng(1);
+  std::map<std::uint32_t, int> count;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++count[t.sample(rng)];
+  EXPECT_NEAR(count[0] / double(n), 0.25, 0.01);
+  EXPECT_NEAR(count[3] / double(n), 0.50, 0.01);
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable({}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(AliasTable, HandlesZeroWeightEntries) {
+  AliasTable t({0.0, 1.0, 0.0});
+  sgm::util::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(t.sample(rng), 1u);
+}
+
+TEST(EpochDealer, FullUniverseEachEpoch) {
+  EpochDealer d(10);
+  sgm::util::Rng rng(3);
+  std::map<std::uint32_t, int> count;
+  // Two complete epochs of 10 in batches of 5.
+  for (int b = 0; b < 4; ++b)
+    for (auto i : d.next(5, rng)) ++count[i];
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(count[i], 2);
+}
+
+TEST(EpochDealer, SetEpochUsesGivenMultiset) {
+  EpochDealer d(100);
+  sgm::util::Rng rng(4);
+  d.set_epoch({7, 7, 9}, rng);
+  std::map<std::uint32_t, int> count;
+  for (auto i : d.next(6, rng)) ++count[i];  // exactly two epochs
+  EXPECT_EQ(count[7], 4);
+  EXPECT_EQ(count[9], 2);
+  EXPECT_EQ(count.size(), 2u);
+}
+
+TEST(EpochDealer, RejectsEmptyEpoch) {
+  EpochDealer d(4);
+  sgm::util::Rng rng(5);
+  EXPECT_THROW(d.set_epoch({}, rng), std::invalid_argument);
+}
+
+TEST(UniformSampler, CoversUniverse) {
+  sgm::samplers::UniformSampler s(16);
+  sgm::util::Rng rng(6);
+  std::map<std::uint32_t, int> count;
+  for (int b = 0; b < 4; ++b)
+    for (auto i : s.next_batch(8, rng)) ++count[i];
+  EXPECT_EQ(count.size(), 16u);  // two epochs touch everything
+}
+
+// ----------------------------------------------------------------- MIS ----
+
+Matrix line_points(std::size_t n) {
+  Matrix pts(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts(i, 0) = static_cast<double>(i) / n;
+    pts(i, 1) = 0.0;
+  }
+  return pts;
+}
+
+TEST(MisSampler, UniformBeforeFirstRefresh) {
+  const Matrix pts = line_points(50);
+  sgm::samplers::MisOptions opt;
+  sgm::samplers::MisSampler s(pts, opt);
+  EXPECT_NEAR(s.probability(3), 1.0 / 50, 1e-12);
+}
+
+TEST(MisSampler, ProbabilityTracksLoss) {
+  const Matrix pts = line_points(100);
+  sgm::samplers::MisOptions opt;
+  opt.refresh_every = 1;
+  opt.uniform_floor = 0.0;
+  sgm::samplers::MisSampler s(pts, opt);
+  sgm::util::Rng rng(7);
+  // Loss = 9 for the first half, 1 for the second.
+  auto eval = [](const std::vector<std::uint32_t>& rows) {
+    std::vector<double> loss(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      loss[i] = rows[i] < 50 ? 9.0 : 1.0;
+    return loss;
+  };
+  s.maybe_refresh(0, eval, rng);
+  EXPECT_NEAR(s.probability(10) / s.probability(90), 9.0, 1e-9);
+}
+
+TEST(MisSampler, SeededModeAssignsNearestSeedLoss) {
+  const Matrix pts = line_points(100);
+  sgm::samplers::MisOptions opt;
+  opt.refresh_every = 1;
+  opt.num_seeds = 10;
+  opt.uniform_floor = 0.0;
+  sgm::samplers::MisSampler s(pts, opt);
+  sgm::util::Rng rng(8);
+  std::size_t evaluated = 0;
+  auto eval = [&](const std::vector<std::uint32_t>& rows) {
+    evaluated = rows.size();
+    std::vector<double> loss(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      loss[i] = rows[i] < 50 ? 5.0 : 1.0;
+    return loss;
+  };
+  s.maybe_refresh(0, eval, rng);
+  EXPECT_EQ(evaluated, 10u);  // seeds only, not the full cloud
+  EXPECT_EQ(s.loss_evaluations(), 10u);
+  // Points deep in each half should inherit their half's seed loss.
+  EXPECT_GT(s.probability(5), s.probability(95));
+}
+
+TEST(MisSampler, RespectsRefreshPeriod) {
+  const Matrix pts = line_points(20);
+  sgm::samplers::MisOptions opt;
+  opt.refresh_every = 100;
+  sgm::samplers::MisSampler s(pts, opt);
+  sgm::util::Rng rng(9);
+  int calls = 0;
+  auto eval = [&](const std::vector<std::uint32_t>& rows) {
+    ++calls;
+    return std::vector<double>(rows.size(), 1.0);
+  };
+  for (std::uint64_t it = 0; it < 250; ++it) s.maybe_refresh(it, eval, rng);
+  EXPECT_EQ(calls, 3);  // at 0, 100, 200
+}
+
+TEST(MisSampler, UniformFloorKeepsAllReachable) {
+  const Matrix pts = line_points(10);
+  sgm::samplers::MisOptions opt;
+  opt.refresh_every = 1;
+  opt.uniform_floor = 0.1;
+  sgm::samplers::MisSampler s(pts, opt);
+  sgm::util::Rng rng(10);
+  auto eval = [](const std::vector<std::uint32_t>& rows) {
+    std::vector<double> loss(rows.size(), 0.0);
+    loss[0] = 100.0;  // all mass on one point without the floor
+    return loss;
+  };
+  s.maybe_refresh(0, eval, rng);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    EXPECT_GE(s.probability(i), 0.1 / 10 - 1e-12);
+}
+
+// ----------------------------------------------------------------- RAR ----
+
+TEST(RarSampler, GrowsActiveSetByResidual) {
+  sgm::util::Rng rng(11);
+  sgm::samplers::RarOptions opt;
+  opt.initial_points = 16;
+  opt.added_per_refresh = 8;
+  opt.candidate_pool = 64;
+  opt.refresh_every = 10;
+  sgm::samplers::RarSampler s(256, opt, rng);
+  EXPECT_EQ(s.active_size(), 16u);
+  auto eval = [](const std::vector<std::uint32_t>& rows) {
+    std::vector<double> loss(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      loss[i] = static_cast<double>(rows[i]);  // higher index = higher loss
+    return loss;
+  };
+  s.maybe_refresh(10, eval, rng);
+  EXPECT_EQ(s.active_size(), 24u);
+  s.maybe_refresh(20, eval, rng);
+  EXPECT_EQ(s.active_size(), 32u);
+}
+
+TEST(RarSampler, BatchesComeFromActiveSet) {
+  sgm::util::Rng rng(12);
+  sgm::samplers::RarOptions opt;
+  opt.initial_points = 8;
+  sgm::samplers::RarSampler s(100, opt, rng);
+  auto batch = s.next_batch(32, rng);
+  // All batch elements must be among the 8 active points.
+  std::set<std::uint32_t> uniq(batch.begin(), batch.end());
+  EXPECT_LE(uniq.size(), 8u);
+}
+
+}  // namespace

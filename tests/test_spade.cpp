@@ -1,0 +1,166 @@
+// Tests for the SPADE / ISR stability metric (S3): generalized eigenvalue
+// sanity on constructed input/output graph pairs and localization of node
+// scores at unstable regions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/knn.hpp"
+#include "spade/isr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using sgm::graph::CsrGraph;
+using sgm::spade::IsrOptions;
+using sgm::spade::IsrResult;
+using sgm::tensor::Matrix;
+
+Matrix line_points(std::size_t n) {
+  Matrix pts(n, 1);
+  for (std::size_t i = 0; i < n; ++i)
+    pts(i, 0) = static_cast<double>(i) / static_cast<double>(n - 1);
+  return pts;
+}
+
+TEST(Isr, IdentityMapHasUnitEigenvalues) {
+  // Y = X => L_Y == L_X => generalized eigenvalues ~ 1 (up to the shift).
+  const std::size_t n = 60;
+  const Matrix x = line_points(n);
+  sgm::graph::KnnGraphOptions kopt;
+  kopt.k = 4;
+  const CsrGraph gx = sgm::graph::build_knn_graph(x, kopt);
+  IsrOptions opt;
+  opt.rank = 4;
+  opt.subspace_iterations = 8;
+  opt.y_knn.k = 4;
+  const IsrResult r = sgm::spade::compute_isr(gx, x, opt);
+  ASSERT_FALSE(r.eigenvalues.empty());
+  for (double ev : r.eigenvalues) EXPECT_NEAR(ev, 1.0, 0.25);
+}
+
+TEST(Isr, UniformScalingScalesIsrMax) {
+  // Y = 2X halves the inverse-distance output weights, so L_Y = L_X / 2 and
+  // the pencil's eigenvalues all become ~2.
+  const std::size_t n = 60;
+  const Matrix x = line_points(n);
+  Matrix y = x;
+  y.scale(2.0);
+  sgm::graph::KnnGraphOptions kopt;
+  kopt.k = 4;
+  const CsrGraph gx = sgm::graph::build_knn_graph(x, kopt);
+  IsrOptions opt;
+  opt.rank = 4;
+  opt.subspace_iterations = 8;
+  opt.y_knn.k = 4;
+  const IsrResult r = sgm::spade::compute_isr(gx, y, opt);
+  EXPECT_NEAR(r.isr_max(), 2.0, 0.5);
+}
+
+TEST(Isr, ScoresLocalizeAtSteepRegion) {
+  // Map: identity on [0, 0.5], steep x20 slope on (0.5, 1]. Node scores in
+  // the steep half must dominate those in the flat half.
+  const std::size_t n = 120;
+  const Matrix x = line_points(n);
+  Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x(i, 0);
+    y(i, 0) = v <= 0.5 ? v : 0.5 + 20.0 * (v - 0.5);
+  }
+  sgm::graph::KnnGraphOptions kopt;
+  kopt.k = 4;
+  const CsrGraph gx = sgm::graph::build_knn_graph(x, kopt);
+  IsrOptions opt;
+  opt.rank = 6;
+  opt.subspace_iterations = 10;
+  opt.y_knn.k = 4;
+  const IsrResult r = sgm::spade::compute_isr(gx, y, opt);
+
+  double steep = 0, flat = 0;
+  std::size_t steep_n = 0, flat_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x(i, 0) > 0.55) {
+      steep += r.node_score[i];
+      ++steep_n;
+    } else if (x(i, 0) < 0.45) {
+      flat += r.node_score[i];
+      ++flat_n;
+    }
+  }
+  steep /= steep_n;
+  flat /= flat_n;
+  EXPECT_GT(steep, 2.0 * flat)
+      << "steep mean " << steep << " flat mean " << flat;
+}
+
+TEST(Isr, EdgeScoreSymmetricNonNegative) {
+  const std::size_t n = 40;
+  sgm::util::Rng rng(3);
+  Matrix x(n, 2);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform();
+  Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) y(i, 0) = std::sin(5 * x(i, 0));
+  sgm::graph::KnnGraphOptions kopt;
+  kopt.k = 5;
+  const CsrGraph gx = sgm::graph::build_knn_graph(x, kopt);
+  IsrOptions opt;
+  opt.rank = 4;
+  const IsrResult r = sgm::spade::compute_isr(gx, y, opt);
+  for (sgm::graph::NodeId p = 0; p < 10; ++p) {
+    for (sgm::graph::NodeId q = 0; q < 10; ++q) {
+      const double spq = sgm::spade::isr_edge_score(r, p, q);
+      EXPECT_GE(spq, 0.0);
+      EXPECT_NEAR(spq, sgm::spade::isr_edge_score(r, q, p), 1e-12);
+    }
+  }
+}
+
+TEST(Isr, NodeScoresMatchNeighborAverageDefinition) {
+  const std::size_t n = 30;
+  const Matrix x = line_points(n);
+  Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) y(i, 0) = x(i, 0) * x(i, 0);
+  sgm::graph::KnnGraphOptions kopt;
+  kopt.k = 3;
+  const CsrGraph gx = sgm::graph::build_knn_graph(x, kopt);
+  IsrOptions opt;
+  opt.rank = 3;
+  const IsrResult r = sgm::spade::compute_isr(gx, y, opt);
+  for (sgm::graph::NodeId p = 0; p < n; ++p) {
+    const auto nbrs = gx.neighbors(p);
+    double mean = 0;
+    for (auto q : nbrs) mean += sgm::spade::isr_edge_score(r, p, q);
+    mean /= static_cast<double>(nbrs.size());
+    EXPECT_NEAR(r.node_score[p], mean, 1e-12);
+  }
+}
+
+TEST(Isr, MismatchedGraphSizesThrow) {
+  const Matrix x = line_points(10);
+  sgm::graph::KnnGraphOptions kopt;
+  kopt.k = 2;
+  const CsrGraph gx = sgm::graph::build_knn_graph(x, kopt);
+  const Matrix y = line_points(8);
+  EXPECT_THROW(sgm::spade::compute_isr(gx, y, {}), std::invalid_argument);
+}
+
+TEST(Isr, DeterministicForFixedSeed) {
+  const std::size_t n = 50;
+  const Matrix x = line_points(n);
+  Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) y(i, 0) = std::cos(3 * x(i, 0));
+  sgm::graph::KnnGraphOptions kopt;
+  kopt.k = 4;
+  const CsrGraph gx = sgm::graph::build_knn_graph(x, kopt);
+  IsrOptions opt;
+  opt.seed = 1234;
+  const IsrResult a = sgm::spade::compute_isr(gx, y, opt);
+  const IsrResult b = sgm::spade::compute_isr(gx, y, opt);
+  ASSERT_EQ(a.node_score.size(), b.node_score.size());
+  for (std::size_t i = 0; i < a.node_score.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.node_score[i], b.node_score[i]);
+}
+
+}  // namespace
