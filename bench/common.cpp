@@ -1,9 +1,11 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 
 #include "util/csv.hpp"
@@ -155,6 +157,7 @@ void print_min_time_table(const std::string& title,
     std::printf("  %-14s refresh %6.2fs, extra loss evals %llu\n",
                 a.arm.label.c_str(), a.refresh_seconds,
                 static_cast<unsigned long long>(a.loss_evaluations));
+  maybe_write_json(title, arms, metrics);
 }
 
 void print_curves(const std::string& title,
@@ -175,6 +178,76 @@ void print_curves(const std::string& title,
     }
     std::printf("   (series written to %s)\n", fname.c_str());
   }
+  maybe_write_json(title, arms, {metric});
+}
+
+void maybe_write_json(const std::string& title,
+                      const std::vector<ArmResult>& arms,
+                      const std::vector<std::string>& metrics) {
+  const char* env = std::getenv("SGM_BENCH_JSON");
+  if (!env || std::string(env) == "0") return;
+
+  std::string slug = title;
+  for (auto& c : slug) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      c = '_';
+    }
+  }
+  const std::string fname = "BENCH_" + slug + ".json";
+
+  // Infinities (metric never reached / no records) are not valid JSON;
+  // emit null so downstream tooling can parse every file uniformly.
+  auto num = [](double v) {
+    if (std::isinf(v) || std::isnan(v)) return std::string("null");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  auto str = [](const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') q += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        q += buf;
+      } else {
+        q += c;
+      }
+    }
+    return q + "\"";
+  };
+
+  std::ofstream out(fname);
+  if (!out) {
+    std::fprintf(stderr, "  (SGM_BENCH_JSON set but cannot open %s)\n",
+                 fname.c_str());
+    return;
+  }
+  out << "{\n  \"title\": " << str(title) << ",\n  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const auto& a = arms[i];
+    out << "    {\n      \"label\": " << str(a.arm.label) << ",\n"
+        << "      \"refresh_seconds\": " << num(a.refresh_seconds) << ",\n"
+        << "      \"loss_evaluations\": " << a.loss_evaluations << ",\n"
+        << "      \"best\": {";
+    for (std::size_t m = 0; m < metrics.size(); ++m)
+      out << (m ? ", " : "") << str(metrics[m]) << ": "
+          << num(a.best(metrics[m]));
+    out << "},\n      \"curve\": [";
+    for (std::size_t r = 0; r < a.records.size(); ++r) {
+      const auto& rec = a.records[r];
+      out << (r ? ", " : "") << "[" << num(rec.train_wall_s);
+      for (const auto& m : metrics)
+        out << ", " << num(pinn::validation_error(rec.validation, m));
+      out << "]";
+    }
+    out << "]\n    }" << (i + 1 < arms.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("  (json written to %s)\n", fname.c_str());
 }
 
 }  // namespace sgm::bench

@@ -70,4 +70,12 @@ void print_curves(const std::string& title,
                   const std::vector<ArmResult>& arms,
                   const std::string& metric, const std::string& csv_prefix);
 
+/// When SGM_BENCH_JSON=1, writes `BENCH_<slug(title)>.json` next to the
+/// binary: per-arm best errors, refresh overhead and error-vs-time curves.
+/// Called automatically by print_min_time_table / print_curves, so every
+/// bench can feed the machine-readable perf trajectory without extra code.
+void maybe_write_json(const std::string& title,
+                      const std::vector<ArmResult>& arms,
+                      const std::vector<std::string>& metrics);
+
 }  // namespace sgm::bench

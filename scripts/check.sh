@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# One-command tier-1 verify: configure + build + ctest.
+#   scripts/check.sh [build-dir]      (extra CMake args via CMAKE_ARGS)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -68,8 +68,9 @@ class SgmSampler final : public samplers::Sampler {
                      util::Rng& rng) override;
 
   /// Supplies the model-output matrix used when rebuilding the PGM with
-  /// output features (optional; callers that skip it get spatial rebuilds)
-  /// and by ISR's output manifold.
+  /// output features (optional; callers that skip it, or leave
+  /// rebuild_output_weight at 0, get purely spatial rebuilds). ISR does
+  /// not consume this: its output manifold is the representative losses.
   void set_outputs_provider(
       std::function<tensor::Matrix(const std::vector<std::uint32_t>&)>
           provider) {
