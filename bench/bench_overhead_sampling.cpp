@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "core/sgm_sampler.hpp"
 #include "nn/mlp.hpp"
 #include "pinn/pde.hpp"
@@ -137,21 +141,53 @@ BENCHMARK(BM_RefreshSgmWithIsr)->Arg(4096)->Arg(16384)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GraphRebuildTauG(benchmark::State& state) {
-  // The tau_G path: full S1+S2 rebuild.
+  // The tau_G path: full S1+S2 rebuild. Second arg = num_threads for the
+  // parallel refresh engine (1 = serial path); the 50k-point rows are the
+  // scaling check for the thread-pool speedup, and the clustering is
+  // byte-identical at every thread count.
   Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::size_t>(state.range(1));
   core::PgmOptions pgm;
   pgm.knn.k = 10;
+  pgm.num_threads = threads;
   graph::LrdOptions lrd;
   lrd.levels = 8;
+  lrd.num_threads = threads;
   for (auto _ : state) {
     auto g = core::build_pgm(fx.problem.interior_points(), nullptr, pgm);
     auto c = graph::lrd_decompose(g, lrd);
     benchmark::DoNotOptimize(c.num_clusters);
   }
+  state.counters["num_threads"] =
+      benchmark::Counter(static_cast<double>(threads));
 }
-BENCHMARK(BM_GraphRebuildTauG)->Arg(4096)->Arg(16384)
+BENCHMARK(BM_GraphRebuildTauG)
+    ->Args({4096, 1})
+    ->Args({16384, 1})
+    ->Args({16384, 4})
+    ->Args({50000, 1})
+    ->Args({50000, 4})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: SGM_BENCH_JSON=1 mirrors the experiment benches' machine-
+// readable output by routing google-benchmark's JSON reporter to a file, so
+// the rebuild wall times (including the thread-count sweep above) land in
+// BENCH_overhead_sampling.json.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_overhead_sampling.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (const char* env = std::getenv("SGM_BENCH_JSON");
+      env && std::string(env) != "0") {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 #include "pinn/validation.hpp"
 
 namespace sgm::bench {
@@ -22,6 +23,14 @@ double budget_seconds(double fallback) {
 int num_seeds(int fallback) {
   if (const char* env = std::getenv("SGM_BENCH_SEEDS"))
     return std::max(1, std::atoi(env));
+  return fallback;
+}
+
+std::size_t bench_threads(std::size_t fallback) {
+  if (const char* env = std::getenv("SGM_BENCH_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
   return fallback;
 }
 
@@ -57,6 +66,7 @@ std::unique_ptr<samplers::Sampler> make_sampler(
       core::SgmOptions opt = arm.sgm;
       opt.use_isr = (arm.kind == SamplerKind::kSgmS);
       opt.seed = seed * 7919 + 13;
+      opt.num_threads = bench_threads(opt.num_threads);
       return std::make_unique<core::SgmSampler>(problem.interior_points(),
                                                 opt);
     }
@@ -71,6 +81,11 @@ ArmResult run_arm(const pinn::PinnProblem& problem, const Arm& arm,
                   std::uint64_t validate_every) {
   ArmResult result;
   result.arm = arm;
+  const bool rebuilds =
+      arm.kind == SamplerKind::kSgm || arm.kind == SamplerKind::kSgmS;
+  result.num_threads =
+      rebuilds ? util::resolve_threads(bench_threads(arm.sgm.num_threads))
+               : 1;
 
   std::vector<std::vector<pinn::TrainRecord>> runs;
   for (int s = 0; s < seeds; ++s) {
@@ -232,6 +247,7 @@ void maybe_write_json(const std::string& title,
     out << "    {\n      \"label\": " << str(a.arm.label) << ",\n"
         << "      \"refresh_seconds\": " << num(a.refresh_seconds) << ",\n"
         << "      \"loss_evaluations\": " << a.loss_evaluations << ",\n"
+        << "      \"num_threads\": " << a.num_threads << ",\n"
         << "      \"best\": {";
     for (std::size_t m = 0; m < metrics.size(); ++m)
       out << (m ? ", " : "") << str(metrics[m]) << ": "

@@ -7,8 +7,10 @@
 // on a V100. These benches run the same controlled comparison — identical
 // trainer/network/problem per arm, only the sampler differs — scaled to
 // one CPU core. Budgets are configurable:
-//   SGM_BENCH_BUDGET  seconds of train wall time per arm (default 30)
-//   SGM_BENCH_SEEDS   number of seeds averaged, as in the paper (default 1)
+//   SGM_BENCH_BUDGET   seconds of train wall time per arm (default 30)
+//   SGM_BENCH_SEEDS    number of seeds averaged, as in the paper (default 1)
+//   SGM_BENCH_THREADS  worker threads for SGM rebuilds (default: the arm's
+//                      sgm.num_threads, whose 0 = hardware concurrency)
 
 #include <cstdint>
 #include <functional>
@@ -27,6 +29,9 @@ namespace sgm::bench {
 
 double budget_seconds(double fallback = 30.0);
 int num_seeds(int fallback = 1);
+/// SGM_BENCH_THREADS override for the SGM arms' rebuild thread count;
+/// returns `fallback` when the env var is unset or invalid.
+std::size_t bench_threads(std::size_t fallback = 0);
 
 enum class SamplerKind { kUniform, kMis, kSgm, kSgmS };
 
@@ -46,6 +51,9 @@ struct ArmResult {
   std::vector<std::string> metrics;
   double refresh_seconds = 0.0;
   std::uint64_t loss_evaluations = 0;
+  /// Resolved rebuild thread count the arm ran with (1 for the serial path;
+  /// only meaningful for sampler kinds that rebuild, i.e. SGM/SGM-S).
+  std::size_t num_threads = 1;
 
   double best(const std::string& metric) const;
   /// First wall time at which `metric` fell to <= threshold (inf if never).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace sgm::core {
@@ -14,6 +15,7 @@ Epoch build_epoch(const ClusterStore& store,
     throw std::invalid_argument("build_epoch: score count mismatch");
   if (options.ratio_min <= 0.0 || options.ratio_max < options.ratio_min)
     throw std::invalid_argument("build_epoch: bad ratio range");
+  if (nc == 0) return {};  // empty clustering: nothing to apportion
 
   const double n = static_cast<double>(store.num_nodes());
   const double target = std::max(1.0, options.epoch_fraction * n);
@@ -37,16 +39,78 @@ Epoch build_epoch(const ClusterStore& store,
   }
   const double scale = raw_total > 0.0 ? target / raw_total : 1.0;
 
-  Epoch epoch;
-  epoch.per_cluster.assign(nc, 0);
+  // Largest-remainder apportionment of the P_i * S_i budget: clamping each
+  // cluster to [1, size_c] independently lets the realized epoch drift far
+  // from epoch_fraction * n once many clusters hit the floor or cap, so the
+  // clamp residual is redistributed until the total matches the budget (the
+  // budget itself clamped to what floor-of-1 and the cluster sizes allow).
+  const std::uint64_t total_nodes = store.num_nodes();
+  const std::uint64_t budget = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::llround(target)),
+      static_cast<std::uint64_t>(nc), total_nodes);
+
+  std::vector<std::uint32_t> want(nc);
+  std::vector<double> remainder(nc);
+  std::uint64_t total = 0;
   for (std::uint32_t c = 0; c < nc; ++c) {
-    const auto size_c = store.size(c);
-    auto want = static_cast<std::uint32_t>(std::llround(raw[c] * scale));
-    want = std::clamp<std::uint32_t>(want, 1u, size_c);  // floor of 1
-    epoch.per_cluster[c] = want;
+    const double quota = raw[c] * scale;
+    const double fl = std::floor(quota);
+    remainder[c] = quota - fl;
+    want[c] = std::clamp<std::uint32_t>(
+        static_cast<std::uint32_t>(std::min<double>(fl, 4294967295.0)), 1u,
+        store.size(c));
+    total += want[c];
+  }
+  if (total < budget) {
+    // Grant +1 by descending fractional remainder (ties: lower id) to
+    // clusters with headroom; repeat passes until the budget is met.
+    std::vector<std::uint32_t> order(nc);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return remainder[a] != remainder[b] ? remainder[a] > remainder[b]
+                                          : a < b;
+    });
+    bool progressed = true;
+    while (total < budget && progressed) {
+      progressed = false;
+      for (std::uint32_t c : order) {
+        if (total >= budget) break;
+        if (want[c] < store.size(c)) {
+          ++want[c];
+          ++total;
+          progressed = true;
+        }
+      }
+    }
+  } else if (total > budget) {
+    // Floors overshot: reclaim -1 by ascending remainder (ties: lower id)
+    // from clusters above the floor of one.
+    std::vector<std::uint32_t> order(nc);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return remainder[a] != remainder[b] ? remainder[a] < remainder[b]
+                                          : a < b;
+    });
+    bool progressed = true;
+    while (total > budget && progressed) {
+      progressed = false;
+      for (std::uint32_t c : order) {
+        if (total <= budget) break;
+        if (want[c] > 1) {
+          --want[c];
+          --total;
+          progressed = true;
+        }
+      }
+    }
+  }
+
+  Epoch epoch;
+  epoch.per_cluster = want;
+  for (std::uint32_t c = 0; c < nc; ++c) {
     const auto& members = store.members(c);
     std::vector<std::uint32_t> local =
-        rng.sample_without_replacement(size_c, want);
+        rng.sample_without_replacement(store.size(c), want[c]);
     for (std::uint32_t li : local) epoch.indices.push_back(members[li]);
   }
   return epoch;

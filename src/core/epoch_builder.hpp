@@ -32,7 +32,10 @@ struct Epoch {
 /// Builds an epoch given combined cluster scores. Guarantees:
 ///   * every cluster contributes at least 1 and at most size(c) samples,
 ///   * within a cluster, samples are drawn without replacement,
-///   * total size is close to epoch_fraction * N (exact up to flooring).
+///   * total size is exactly clamp(round(epoch_fraction * N),
+///     num_clusters, N): per-cluster counts are apportioned by the
+///     largest-remainder method, so clamp residue from clusters pinned at
+///     the floor/cap is redistributed instead of drifting the epoch size.
 Epoch build_epoch(const ClusterStore& store,
                   const std::vector<double>& cluster_scores,
                   const EpochBuilderOptions& options, util::Rng& rng);

@@ -47,11 +47,13 @@ graph::CsrGraph build_pgm(const Matrix& points, const Matrix* outputs,
     metric = &augmented;
   }
 
+  graph::KnnGraphOptions knn = options.knn;
+  if (options.num_threads) knn.num_threads = options.num_threads;
   switch (options.backend) {
     case KnnBackend::kKdTree:
-      return graph::build_knn_graph(*metric, options.knn);
+      return graph::build_knn_graph(*metric, knn);
     case KnnBackend::kHnsw:
-      return graph::build_knn_graph_hnsw(*metric, options.knn, options.hnsw);
+      return graph::build_knn_graph_hnsw(*metric, knn, options.hnsw);
   }
   throw std::logic_error("build_pgm: bad backend");
 }

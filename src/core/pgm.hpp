@@ -28,6 +28,10 @@ struct PgmOptions {
   /// If > 0 and outputs are provided, appends standardized output features
   /// scaled by this factor to the coordinates before the kNN search.
   double output_feature_weight = 0.0;
+  /// Worker threads for the kNN queries + edge assembly. Nonzero overrides
+  /// knn.num_threads; 0 defers to it. The built graph is byte-identical for
+  /// any value.
+  std::size_t num_threads = 0;
 };
 
 /// Builds the PGM over `points` (n x d spatial/parameter coordinates).

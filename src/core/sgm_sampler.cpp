@@ -13,6 +13,10 @@ SgmSampler::SgmSampler(const Matrix& points, const SgmOptions& options)
       opt_(options),
       schedule_(options.tau_e, options.tau_g),
       dealer_(static_cast<std::uint32_t>(points.rows())) {
+  if (opt_.num_threads) {
+    opt_.pgm.num_threads = opt_.num_threads;
+    opt_.lrd.num_threads = opt_.num_threads;
+  }
   util::WallTimer timer;
   graph::CsrGraph g = build_pgm(points_, nullptr, opt_.pgm);
   clusters_ = ClusterStore(graph::lrd_decompose(g, opt_.lrd));
@@ -30,6 +34,12 @@ std::vector<std::uint32_t> SgmSampler::next_batch(std::size_t batch_size,
 void SgmSampler::rebuild_clusters(util::Rng& rng) {
   (void)rng;
   if (opt_.async_rebuild) {
+    // The graph/cluster build overlaps training on the worker, but the
+    // output-provider evaluation over all points (and the input snapshot)
+    // happens right here on the training thread — charge it, or
+    // refresh_seconds_ undercounts exactly when async + output-weighted
+    // rebuilds are both on.
+    util::WallTimer timer;
     std::unique_ptr<Matrix> outputs;
     if (outputs_provider_ && opt_.rebuild_output_weight > 0.0) {
       std::vector<std::uint32_t> all(points_.rows());
@@ -39,6 +49,7 @@ void SgmSampler::rebuild_clusters(util::Rng& rng) {
     PgmOptions pgm = opt_.pgm;
     pgm.output_feature_weight = opt_.rebuild_output_weight;
     async_.launch(points_, std::move(outputs), pgm, opt_.lrd);
+    refresh_seconds_ += timer.elapsed_s();
     return;
   }
   util::WallTimer timer;
@@ -82,10 +93,14 @@ void SgmSampler::maybe_refresh(std::uint64_t iteration,
                                const samplers::LossEvaluator& evaluate,
                                util::Rng& rng) {
   // Swap in a finished background rebuild, if any (line 16-17: S <- S_new).
+  // The swap (ClusterStore construction) runs on the training thread and is
+  // charged to refresh_seconds_ like every other sampler cost.
   if (opt_.async_rebuild) {
+    util::WallTimer swap_timer;
     if (auto done = async_.try_take()) {
       clusters_ = ClusterStore(std::move(*done));
       ++rebuild_count_;
+      refresh_seconds_ += swap_timer.elapsed_s();
     }
   }
   if (schedule_.should_rebuild(iteration)) rebuild_clusters(rng);

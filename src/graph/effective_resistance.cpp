@@ -6,6 +6,7 @@
 #include "graph/lanczos.hpp"
 #include "graph/pcg.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sgm::graph {
 
@@ -42,17 +43,26 @@ Matrix jl_embedding(const CsrGraph& g, const ErOptions& opt) {
   pcg.rel_tol = opt.cg_rel_tol;
   pcg.max_iterations = opt.cg_max_iterations;
   const double inv_sqrt_t = 1.0 / std::sqrt(static_cast<double>(t));
-  Vec b(n);
+  // Draw every sketch vector serially first — the rng stream is consumed in
+  // the same order for any thread count — then run the independent (and
+  // dominant) Laplacian solves on the pool.
+  std::vector<Vec> sketches(static_cast<std::size_t>(t), Vec(n, 0.0));
   for (int col = 0; col < t; ++col) {
-    std::fill(b.begin(), b.end(), 0.0);
+    Vec& b = sketches[static_cast<std::size_t>(col)];
     for (const auto& e : g.edges()) {
       const double val = rng.rademacher() * std::sqrt(e.w) * inv_sqrt_t;
       b[e.u] += val;
       b[e.v] -= val;
     }
-    PcgResult sol = pcg_solve_laplacian(g, b, pcg);
-    for (std::size_t r = 0; r < n; ++r) z(r, col) = sol.x[r];
   }
+  util::parallel_for_chunks(
+      0, static_cast<std::size_t>(t), 1, opt.num_threads,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t col = b; col < e; ++col) {
+          PcgResult sol = pcg_solve_laplacian(g, sketches[col], pcg);
+          for (std::size_t r = 0; r < n; ++r) z(r, col) = sol.x[r];
+        }
+      });
   return z;
 }
 
@@ -68,23 +78,35 @@ Matrix smoothed_embedding(const CsrGraph& g, const ErOptions& opt) {
   const int t = std::max(1, opt.num_vectors);
   util::Rng rng(opt.seed);
   Matrix z(n, t);
-  Vec x(n), y(n);
   double d_max = 0.0;
   for (NodeId u = 0; u < n; ++u)
     d_max = std::max(d_max, g.weighted_degree(u));
   if (d_max <= 0.0) d_max = 1.0;
   const double sigma = (2.0 / 3.0) / (2.0 * d_max);
+  // Random initial vectors are drawn serially (identical rng stream for any
+  // thread count); the Richardson sweeps — the expensive part — then run
+  // per column on the pool, each with its own workspace.
+  std::vector<Vec> init(static_cast<std::size_t>(t), Vec(n));
   for (int col = 0; col < t; ++col) {
+    Vec& x = init[static_cast<std::size_t>(col)];
     for (auto& v : x) v = rng.uniform(-0.5, 0.5);
     deflate_constant(x);
-    for (int it = 0; it < opt.smoothing_iterations; ++it) {
-      laplacian_apply(g, x, y);
-      for (std::size_t i = 0; i < n; ++i) x[i] -= sigma * y[i];
-      deflate_constant(x);
-    }
-    const double s = 1.0 / std::sqrt(static_cast<double>(t));
-    for (std::size_t r = 0; r < n; ++r) z(r, col) = x[r] * s;
   }
+  const double s = 1.0 / std::sqrt(static_cast<double>(t));
+  util::parallel_for_chunks(
+      0, static_cast<std::size_t>(t), 1, opt.num_threads,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        Vec y(n);
+        for (std::size_t col = b; col < e; ++col) {
+          Vec& x = init[col];
+          for (int it = 0; it < opt.smoothing_iterations; ++it) {
+            laplacian_apply(g, x, y);
+            for (std::size_t i = 0; i < n; ++i) x[i] -= sigma * y[i];
+            deflate_constant(x);
+          }
+          for (std::size_t r = 0; r < n; ++r) z(r, col) = x[r] * s;
+        }
+      });
   return z;
 }
 
@@ -113,10 +135,13 @@ double er_from_embedding(const Matrix& z, NodeId u, NodeId v) {
 }
 
 std::vector<double> edge_effective_resistance(const CsrGraph& g,
-                                              const Matrix& z) {
+                                              const Matrix& z,
+                                              std::size_t num_threads) {
   std::vector<double> er(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e)
-    er[e] = er_from_embedding(z, g.edge(e).u, g.edge(e).v);
+  util::parallel_for(0, g.num_edges(), num_threads, [&](std::size_t e) {
+    const EdgeId id = static_cast<EdgeId>(e);
+    er[e] = er_from_embedding(z, g.edge(id).u, g.edge(id).v);
+  });
   return er;
 }
 

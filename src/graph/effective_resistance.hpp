@@ -35,6 +35,11 @@ struct ErOptions {
   double cg_rel_tol = 1e-6;    ///< PCG tolerance for kJlSolve
   int cg_max_iterations = 1000;
   std::uint64_t seed = 1234;
+  /// Worker threads for the per-column smoothing/solve work (kJlSolve /
+  /// kSmoothed; random draws stay serial so the stream is thread-count
+  /// independent). 0 = util::resolve_threads default, 1 = serial. Any value
+  /// yields byte-identical embeddings.
+  std::size_t num_threads = 0;
 };
 
 /// Embedding Z with rows as node coordinates; see file comment.
@@ -45,9 +50,10 @@ tensor::Matrix effective_resistance_embedding(const CsrGraph& g,
 double er_from_embedding(const tensor::Matrix& z, NodeId u, NodeId v);
 
 /// Per-unique-edge effective resistances from an embedding, aligned with
-/// g.edges().
+/// g.edges(). num_threads: 0 = util::resolve_threads default, 1 = serial.
 std::vector<double> edge_effective_resistance(const CsrGraph& g,
-                                              const tensor::Matrix& z);
+                                              const tensor::Matrix& z,
+                                              std::size_t num_threads = 0);
 
 /// Exact effective resistance between two nodes via dense pseudo-inverse
 /// (test helper; O(n^3)).

@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace sgm::graph {
 
 using tensor::Matrix;
@@ -15,7 +17,6 @@ HnswIndex::HnswIndex(const Matrix& points, const HnswOptions& options)
   if (opt_.m < 2) throw std::invalid_argument("HnswIndex: m must be >= 2");
   levels_.resize(n_, 0);
   adj_.resize(n_);
-  visit_mark_.assign(n_, 0);
   if (n_ == 0) return;
 
   util::Rng rng(opt_.seed);
@@ -27,6 +28,7 @@ HnswIndex::HnswIndex(const Matrix& points, const HnswOptions& options)
   entry_ = 0;
   max_level_ = 0;
 
+  SearchScratch scratch;  // insertion is sequential; one scratch suffices
   for (NodeId i = 1; i < n_; ++i) {
     // Exponentially distributed level (the classic HNSW assignment).
     double u = rng.uniform();
@@ -38,7 +40,7 @@ HnswIndex::HnswIndex(const Matrix& points, const HnswOptions& options)
     const double* q = pts_.row(i);
     NodeId ep = greedy_descend(q, entry_, max_level_, level + 1);
     for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
-      auto cands = search_layer(q, ep, opt_.ef_construction, lc, -1);
+      auto cands = search_layer(q, ep, opt_.ef_construction, lc, -1, scratch);
       connect(i, lc, cands);
       if (!cands.empty()) ep = cands.front().id;
     }
@@ -90,11 +92,19 @@ NodeId HnswIndex::greedy_descend(const double* q, NodeId entry, int from_level,
 
 std::vector<HnswIndex::SearchCandidate> HnswIndex::search_layer(
     const double* q, NodeId entry, std::size_t ef, int level,
-    std::int64_t exclude) const {
-  ++visit_epoch_;
-  if (visit_epoch_ == 0) {  // wrapped: reset marks
-    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
-    visit_epoch_ = 1;
+    std::int64_t exclude, SearchScratch& scratch) const {
+  // Visit tracking lives entirely in the caller-owned scratch so concurrent
+  // const queries never touch shared index state.
+  auto& visit_mark = scratch.mark;
+  auto& visit_epoch = scratch.epoch;
+  if (visit_mark.size() != n_) {
+    visit_mark.assign(n_, 0);
+    visit_epoch = 0;
+  }
+  ++visit_epoch;
+  if (visit_epoch == 0) {  // wrapped: reset marks
+    std::fill(visit_mark.begin(), visit_mark.end(), 0);
+    visit_epoch = 1;
   }
 
   // to_visit: min-heap by distance; best: max-heap of current ef best.
@@ -105,7 +115,7 @@ std::vector<HnswIndex::SearchCandidate> HnswIndex::search_layer(
 
   const double ed = dist2(q, entry);
   to_visit.push({ed, entry});
-  visit_mark_[entry] = visit_epoch_;
+  visit_mark[entry] = visit_epoch;
   if (static_cast<std::int64_t>(entry) != exclude) best.push({ed, entry});
 
   while (!to_visit.empty()) {
@@ -114,8 +124,8 @@ std::vector<HnswIndex::SearchCandidate> HnswIndex::search_layer(
     if (best.size() >= ef && c.d2 > best.top().d2) break;
     if (level >= static_cast<int>(adj_[c.id].size())) continue;
     for (NodeId nb : neighbors(c.id, level)) {
-      if (visit_mark_[nb] == visit_epoch_) continue;
-      visit_mark_[nb] = visit_epoch_;
+      if (visit_mark[nb] == visit_epoch) continue;
+      visit_mark[nb] = visit_epoch;
       const double d = dist2(q, nb);
       if (best.size() < ef || d < best.top().d2) {
         to_visit.push({d, nb});
@@ -166,11 +176,17 @@ void HnswIndex::connect(NodeId node, int level,
 }
 
 KnnResult HnswIndex::query(const double* query, std::size_t k) const {
+  SearchScratch scratch;
+  return this->query(query, k, scratch);
+}
+
+KnnResult HnswIndex::query(const double* query, std::size_t k,
+                           SearchScratch& scratch) const {
   KnnResult r;
   if (n_ == 0 || k == 0) return r;
   const NodeId ep = greedy_descend(query, entry_, max_level_, 1);
   auto cands =
-      search_layer(query, ep, std::max(opt_.ef_search, k), 0, -1);
+      search_layer(query, ep, std::max(opt_.ef_search, k), 0, -1, scratch);
   const std::size_t take = std::min(k, cands.size());
   for (std::size_t i = 0; i < take; ++i) {
     r.index.push_back(cands[i].id);
@@ -180,12 +196,18 @@ KnnResult HnswIndex::query(const double* query, std::size_t k) const {
 }
 
 KnnResult HnswIndex::query_point(NodeId i, std::size_t k) const {
+  SearchScratch scratch;
+  return query_point(i, k, scratch);
+}
+
+KnnResult HnswIndex::query_point(NodeId i, std::size_t k,
+                                 SearchScratch& scratch) const {
   KnnResult r;
   if (n_ == 0 || k == 0) return r;
   const double* q = pts_.row(i);
   const NodeId ep = greedy_descend(q, entry_, max_level_, 1);
   auto cands = search_layer(q, ep, std::max(opt_.ef_search, k + 1), 0,
-                            static_cast<std::int64_t>(i));
+                            static_cast<std::int64_t>(i), scratch);
   const std::size_t take = std::min(k, cands.size());
   for (std::size_t t = 0; t < take; ++t) {
     r.index.push_back(cands[t].id);
@@ -200,49 +222,69 @@ CsrGraph build_knn_graph_hnsw(const Matrix& points,
   const std::size_t n = points.rows();
   if (n == 0) return CsrGraph();
   const std::size_t k = std::min(graph_options.k, n - 1);
+  // Insertion order feeds back into the link structure, so construction
+  // stays sequential (deterministic for a fixed seed); the per-point query
+  // sweep below is where the time goes and parallelizes cleanly.
   HnswIndex index(points, hnsw_options);
 
+  constexpr std::size_t kGrain = 256;
+  const std::size_t chunks = util::num_chunks(0, n, kGrain);
+  std::vector<KnnResult> nn(n);
+  std::vector<double> chunk_dist(chunks, 0.0);
+  std::vector<std::size_t> chunk_count(chunks, 0);
+  util::parallel_for_chunks(
+      0, n, kGrain, graph_options.num_threads,
+      [&](std::size_t b, std::size_t e, std::size_t c) {
+        HnswIndex::SearchScratch scratch;
+        double s = 0.0;
+        std::size_t cnt = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          nn[i] = index.query_point(static_cast<NodeId>(i), k, scratch);
+          for (double d2v : nn[i].dist2) {
+            s += std::sqrt(d2v);
+            ++cnt;
+          }
+        }
+        chunk_dist[c] = s;
+        chunk_count[c] = cnt;
+      });
   double mean_dist = 0.0;
   std::size_t count = 0;
-  std::vector<KnnResult> nn(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    nn[i] = index.query_point(static_cast<NodeId>(i), k);
-    for (double d2v : nn[i].dist2) {
-      mean_dist += std::sqrt(d2v);
-      ++count;
-    }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    mean_dist += chunk_dist[c];
+    count += chunk_count[c];
   }
   if (count) mean_dist /= static_cast<double>(count);
   const double sigma = mean_dist > 0 ? mean_dist : 1.0;
 
+  std::vector<std::vector<Edge>> chunk_edges(chunks);
+  util::parallel_for_chunks(
+      0, n, kGrain, graph_options.num_threads,
+      [&](std::size_t b, std::size_t e, std::size_t c) {
+        auto& out = chunk_edges[c];
+        out.reserve((e - b) * k);
+        for (std::size_t i = b; i < e; ++i) {
+          for (std::size_t t = 0; t < nn[i].index.size(); ++t) {
+            const double dv = std::sqrt(nn[i].dist2[t]);
+            double w = 1.0;
+            switch (graph_options.weight) {
+              case KnnWeight::kUnit: w = 1.0; break;
+              case KnnWeight::kInverse:
+                w = 1.0 / (dv + graph_options.inverse_eps);
+                break;
+              case KnnWeight::kGauss:
+                w = std::exp(-nn[i].dist2[t] / (2.0 * sigma * sigma));
+                break;
+            }
+            out.push_back({static_cast<NodeId>(i), nn[i].index[t], w});
+          }
+        }
+      });
   std::vector<Edge> edges;
   edges.reserve(n * k);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t t = 0; t < nn[i].index.size(); ++t) {
-      const double dv = std::sqrt(nn[i].dist2[t]);
-      double w = 1.0;
-      switch (graph_options.weight) {
-        case KnnWeight::kUnit: w = 1.0; break;
-        case KnnWeight::kInverse:
-          w = 1.0 / (dv + graph_options.inverse_eps);
-          break;
-        case KnnWeight::kGauss:
-          w = std::exp(-nn[i].dist2[t] / (2.0 * sigma * sigma));
-          break;
-      }
-      edges.push_back({static_cast<NodeId>(i), nn[i].index[t], w});
-    }
-  }
-  for (auto& e : edges)
-    if (e.u > e.v) std::swap(e.u, e.v);
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  edges.erase(std::unique(edges.begin(), edges.end(),
-                          [](const Edge& a, const Edge& b) {
-                            return a.u == b.u && a.v == b.v;
-                          }),
-              edges.end());
+  for (auto& ce : chunk_edges)
+    edges.insert(edges.end(), ce.begin(), ce.end());
+  symmetrize_edges(edges, graph_options.num_threads);
   return CsrGraph::from_edges(static_cast<NodeId>(n), std::move(edges));
 }
 

@@ -22,14 +22,27 @@ struct HnswOptions {
 
 class HnswIndex {
  public:
+  /// Per-query visit-tracking scratch. Queries share no mutable index state,
+  /// so concurrent const queries are race-free; each caller (or each worker
+  /// in a parallel query loop) owns one of these and reuses it across
+  /// queries to amortize the O(n) mark array.
+  struct SearchScratch {
+    std::vector<std::uint32_t> mark;
+    std::uint32_t epoch = 0;
+  };
+
   /// Builds the index over the rows of `points` (copied).
   HnswIndex(const tensor::Matrix& points, const HnswOptions& options);
 
   /// Approximate k nearest neighbors of an arbitrary query vector.
   KnnResult query(const double* query, std::size_t k) const;
+  KnnResult query(const double* query, std::size_t k,
+                  SearchScratch& scratch) const;
 
   /// Approximate k nearest neighbors of indexed point `i`, excluding `i`.
   KnnResult query_point(NodeId i, std::size_t k) const;
+  KnnResult query_point(NodeId i, std::size_t k,
+                        SearchScratch& scratch) const;
 
   std::size_t size() const { return n_; }
   std::size_t max_level() const { return levels_.empty() ? 0 : max_level_; }
@@ -47,7 +60,8 @@ class HnswIndex {
                         int to_level) const;
   std::vector<SearchCandidate> search_layer(const double* q, NodeId entry,
                                             std::size_t ef, int level,
-                                            std::int64_t exclude) const;
+                                            std::int64_t exclude,
+                                            SearchScratch& scratch) const;
   void connect(NodeId node, int level,
                const std::vector<SearchCandidate>& candidates);
   std::vector<NodeId>& neighbors(NodeId node, int level);
@@ -60,8 +74,6 @@ class HnswIndex {
   std::vector<std::vector<std::vector<NodeId>>> adj_;  // [node][level]
   NodeId entry_ = 0;
   int max_level_ = 0;
-  mutable std::vector<std::uint32_t> visit_mark_;
-  mutable std::uint32_t visit_epoch_ = 0;
 };
 
 /// Builds an undirected kNN PGM using HNSW search (approximate analogue of

@@ -1,9 +1,12 @@
 #include "graph/knn.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace sgm::graph {
 
@@ -145,22 +148,93 @@ KnnResult knn_brute_force(const Matrix& points, const double* query,
   return heap_to_result(std::move(heap));
 }
 
+void symmetrize_edges(std::vector<Edge>& edges, std::size_t num_threads) {
+  const std::size_t m = edges.size();
+  if (m == 0) return;
+  util::parallel_for(0, m, num_threads, [&edges](std::size_t i) {
+    if (edges[i].u > edges[i].v) std::swap(edges[i].u, edges[i].v);
+  });
+
+  const auto less = [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  };
+  // Fixed block-sort + merge tree: the block boundaries and merge order
+  // never depend on the thread count, only on m, so every num_threads
+  // produces the same sorted sequence.
+  constexpr std::size_t kBlocks = 8;
+  if (m < 2 * kBlocks) {
+    std::sort(edges.begin(), edges.end(), less);
+  } else {
+    std::array<std::size_t, kBlocks + 1> bound;
+    for (std::size_t b = 0; b <= kBlocks; ++b) bound[b] = m * b / kBlocks;
+    util::parallel_for_chunks(
+        0, kBlocks, 1, num_threads,
+        [&](std::size_t b, std::size_t e, std::size_t) {
+          for (std::size_t blk = b; blk < e; ++blk)
+            std::sort(edges.begin() + static_cast<std::ptrdiff_t>(bound[blk]),
+                      edges.begin() +
+                          static_cast<std::ptrdiff_t>(bound[blk + 1]),
+                      less);
+        });
+    for (std::size_t width = 1; width < kBlocks; width *= 2) {
+      const std::size_t step = 2 * width;
+      util::parallel_for_chunks(
+          0, kBlocks / step, 1, num_threads,
+          [&](std::size_t b, std::size_t e, std::size_t) {
+            for (std::size_t t = b; t < e; ++t) {
+              const std::size_t s = t * step;
+              std::inplace_merge(
+                  edges.begin() + static_cast<std::ptrdiff_t>(bound[s]),
+                  edges.begin() +
+                      static_cast<std::ptrdiff_t>(bound[s + width]),
+                  edges.begin() + static_cast<std::ptrdiff_t>(
+                                      bound[std::min(s + step, kBlocks)]),
+                  less);
+            }
+          });
+    }
+  }
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.u == b.u && a.v == b.v;
+                          }),
+              edges.end());
+}
+
 CsrGraph build_knn_graph(const Matrix& points, const KnnGraphOptions& options) {
   const std::size_t n = points.rows();
   if (n == 0) return CsrGraph();
   const std::size_t k = std::min(options.k, n - 1);
   KdTree tree(points);
 
-  // Directed candidate lists; symmetrized below.
+  // Directed candidate lists; symmetrized below. Per-point queries run on
+  // the pool; the kNN-distance sum is reduced per chunk and merged in chunk
+  // order so sigma is bit-identical for every thread count.
+  constexpr std::size_t kGrain = 256;
+  const std::size_t chunks = util::num_chunks(0, n, kGrain);
   std::vector<KnnResult> nn(n);
+  std::vector<double> chunk_dist(chunks, 0.0);
+  std::vector<std::size_t> chunk_count(chunks, 0);
+  util::parallel_for_chunks(
+      0, n, kGrain, options.num_threads,
+      [&](std::size_t b, std::size_t e, std::size_t c) {
+        double s = 0.0;
+        std::size_t cnt = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          nn[i] = tree.query_point(static_cast<NodeId>(i), k);
+          for (double d2v : nn[i].dist2) {
+            s += std::sqrt(d2v);
+            ++cnt;
+          }
+        }
+        chunk_dist[c] = s;
+        chunk_count[c] = cnt;
+      });
   double mean_dist = 0.0;
   std::size_t dist_count = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    nn[i] = tree.query_point(static_cast<NodeId>(i), k);
-    for (double d2v : nn[i].dist2) {
-      mean_dist += std::sqrt(d2v);
-      ++dist_count;
-    }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    mean_dist += chunk_dist[c];
+    dist_count += chunk_count[c];
   }
   if (dist_count > 0) mean_dist /= static_cast<double>(dist_count);
   const double sigma = mean_dist > 0 ? mean_dist : 1.0;
@@ -175,39 +249,37 @@ CsrGraph build_knn_graph(const Matrix& points, const KnnGraphOptions& options) {
     return 1.0;
   };
 
+  // Per-chunk edge lists concatenated in chunk order keep the pre-sort edge
+  // sequence identical to the serial one.
+  std::vector<std::vector<Edge>> chunk_edges(chunks);
+  util::parallel_for_chunks(
+      0, n, kGrain, options.num_threads,
+      [&](std::size_t b, std::size_t e, std::size_t c) {
+        auto& out = chunk_edges[c];
+        out.reserve((e - b) * k);
+        for (std::size_t i = b; i < e; ++i) {
+          for (std::size_t t = 0; t < nn[i].index.size(); ++t) {
+            const NodeId j = nn[i].index[t];
+            if (options.mutual) {
+              // Keep (i,j) only when j in kNN(i) AND i in kNN(j).
+              if (j <= i) continue;  // handle each unordered pair once
+              const auto& back = nn[j].index;
+              if (std::find(back.begin(), back.end(),
+                            static_cast<NodeId>(i)) == back.end())
+                continue;
+            }
+            out.push_back(
+                {static_cast<NodeId>(i), j, weight_of(nn[i].dist2[t])});
+          }
+        }
+      });
   std::vector<Edge> edges;
   edges.reserve(n * k);
-  if (options.mutual) {
-    // Keep (i,j) only when j in kNN(i) AND i in kNN(j).
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t t = 0; t < nn[i].index.size(); ++t) {
-        const NodeId j = nn[i].index[t];
-        if (j <= i) continue;  // handle each unordered pair once
-        const auto& back = nn[j].index;
-        if (std::find(back.begin(), back.end(), static_cast<NodeId>(i)) !=
-            back.end())
-          edges.push_back({static_cast<NodeId>(i), j,
-                           weight_of(nn[i].dist2[t])});
-      }
-    }
-  } else {
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t t = 0; t < nn[i].index.size(); ++t)
-        edges.push_back({static_cast<NodeId>(i), nn[i].index[t],
-                         weight_of(nn[i].dist2[t])});
-  }
+  for (auto& ce : chunk_edges)
+    edges.insert(edges.end(), ce.begin(), ce.end());
   // from_edges merges duplicates by *summing*; halve symmetric duplicates by
   // pre-deduplicating instead, so union edges keep their single weight.
-  for (auto& e : edges)
-    if (e.u > e.v) std::swap(e.u, e.v);
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  edges.erase(std::unique(edges.begin(), edges.end(),
-                          [](const Edge& a, const Edge& b) {
-                            return a.u == b.u && a.v == b.v;
-                          }),
-              edges.end());
+  symmetrize_edges(edges, options.num_threads);
   return CsrGraph::from_edges(static_cast<NodeId>(n), std::move(edges));
 }
 

@@ -77,10 +77,22 @@ struct KnnGraphOptions {
   /// (a directed edge either way becomes one undirected edge). Union is the
   /// default — it keeps the PGM connected at small k.
   bool mutual = false;
+  /// Worker threads for the per-point queries and the edge
+  /// symmetrize/sort/dedup. 0 = util::resolve_threads default (hardware
+  /// concurrency / SGM_NUM_THREADS), 1 = serial. Any value produces
+  /// byte-identical graphs (see util/thread_pool.hpp's determinism
+  /// contract).
+  std::size_t num_threads = 0;
 };
 
 /// Builds the undirected kNN PGM over rows of `points` (n x d).
 CsrGraph build_knn_graph(const tensor::Matrix& points,
                          const KnnGraphOptions& options);
+
+/// Canonicalizes every edge to u < v, sorts by (u, v) and drops duplicate
+/// pairs, keeping one representative per pair. Shared by the kd-tree and
+/// HNSW graph builders. The block-sort/merge structure is fixed (independent
+/// of `num_threads`), so the result is byte-identical for any thread count.
+void symmetrize_edges(std::vector<Edge>& edges, std::size_t num_threads);
 
 }  // namespace sgm::graph

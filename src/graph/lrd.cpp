@@ -65,7 +65,9 @@ Clustering lrd_decompose_with_embedding(const CsrGraph& g,
   if (options.levels < 1)
     throw std::invalid_argument("lrd_decompose: levels must be >= 1");
 
-  std::vector<double> er = edge_effective_resistance(g, embedding);
+  std::vector<double> er = edge_effective_resistance(
+      g, embedding,
+      options.num_threads ? options.num_threads : options.er.num_threads);
 
   // Edges sorted ascending by estimated ER: strongest conditional
   // dependence first.
@@ -126,7 +128,9 @@ Clustering lrd_decompose_with_embedding(const CsrGraph& g,
 }
 
 Clustering lrd_decompose(const CsrGraph& g, const LrdOptions& options) {
-  const tensor::Matrix z = effective_resistance_embedding(g, options.er);
+  ErOptions er = options.er;
+  if (options.num_threads) er.num_threads = options.num_threads;
+  const tensor::Matrix z = effective_resistance_embedding(g, er);
   return lrd_decompose_with_embedding(g, z, options);
 }
 

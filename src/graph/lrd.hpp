@@ -31,6 +31,11 @@ struct LrdOptions {
   /// clusters on highly irregular clouds.
   std::size_t max_cluster_size = 0;
   ErOptions er;  ///< effective-resistance estimator configuration
+  /// Worker threads for the ER embedding and per-edge ER evaluation (the
+  /// union-find merge loop itself is inherently sequential). Nonzero
+  /// overrides er.num_threads; 0 defers to it. Any value produces an
+  /// identical clustering for a fixed er.seed.
+  std::size_t num_threads = 0;
 };
 
 struct Clustering {

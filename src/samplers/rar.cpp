@@ -8,14 +8,18 @@ namespace sgm::samplers {
 RarSampler::RarSampler(std::uint32_t num_points, const RarOptions& options,
                        util::Rng& rng)
     : num_points_(num_points), opt_(options), in_active_(num_points, false) {
-  const std::uint32_t init = static_cast<std::uint32_t>(
-      std::min<std::size_t>(opt_.initial_points, num_points));
+  // Floor of one active point: initial_points = 0 would leave next_batch
+  // drawing from an empty set (uniform_index(0) throws).
+  const std::uint32_t init = static_cast<std::uint32_t>(std::min<std::size_t>(
+      std::max<std::size_t>(opt_.initial_points, num_points > 0 ? 1 : 0),
+      num_points));
   active_ = rng.sample_without_replacement(num_points, init);
   for (std::uint32_t i : active_) in_active_[i] = true;
 }
 
 std::vector<std::uint32_t> RarSampler::next_batch(std::size_t batch_size,
                                                   util::Rng& rng) {
+  if (active_.empty()) return {};  // only possible when num_points_ == 0
   std::vector<std::uint32_t> batch(batch_size);
   for (auto& b : batch)
     b = active_[rng.uniform_index(active_.size())];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <unordered_set>
 
 namespace sgm::util {
@@ -46,6 +47,9 @@ double Rng::uniform() {
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // (0 - n) % n with n == 0 is undefined behavior, not just a bad value.
+  if (n == 0)
+    throw std::invalid_argument("Rng::uniform_index: n must be > 0");
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t threshold = (0 - n) % n;
   for (;;) {

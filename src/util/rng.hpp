@@ -26,7 +26,7 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
-  /// Uniform integer in [0, n). Requires n > 0.
+  /// Uniform integer in [0, n). Throws std::invalid_argument when n == 0.
   std::uint64_t uniform_index(std::uint64_t n);
 
   /// Standard normal via Box–Muller (cached spare value).

@@ -254,6 +254,48 @@ TEST(EpochBuilder, EpochSizeNearTarget) {
   EXPECT_NEAR(static_cast<double>(epoch.indices.size()), 250.0, 30.0);
 }
 
+TEST(EpochBuilder, BudgetExactUnderClampPressure) {
+  // 60 tiny clusters that all pin at the floor of 1 plus one big cluster:
+  // without residual redistribution the floor contributions inflate the
+  // epoch well past epoch_fraction * n.
+  Clustering c;
+  c.num_clusters = 61;
+  c.node_cluster.resize(1000);
+  for (std::size_t i = 0; i < 120; ++i)
+    c.node_cluster[i] = static_cast<std::uint32_t>(i / 2);  // sizes 2
+  for (std::size_t i = 120; i < 1000; ++i) c.node_cluster[i] = 60;
+  c.cluster_diameter.assign(61, 0.0);
+  ClusterStore store(std::move(c));
+  sgm::util::Rng rng(30);
+  std::vector<double> scores(61, 0.1);
+  scores[60] = 10.0;  // the big cluster carries nearly all the mass
+  sgm::core::EpochBuilderOptions opt;
+  opt.epoch_fraction = 0.1;  // target 100 of 1000
+  auto epoch = sgm::core::build_epoch(store, scores, opt, rng);
+  EXPECT_EQ(epoch.indices.size(), 100u);
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < epoch.per_cluster.size(); ++k) {
+    EXPECT_GE(epoch.per_cluster[k], 1u);
+    EXPECT_LE(epoch.per_cluster[k], store.size(static_cast<std::uint32_t>(k)));
+    total += epoch.per_cluster[k];
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(EpochBuilder, BudgetClampedToClusterCountAndUniverse) {
+  ClusterStore store(tiny_clustering());  // 10 nodes, 3 clusters
+  sgm::util::Rng rng(31);
+  sgm::core::EpochBuilderOptions opt;
+  // Target below the per-cluster floor: realized size is the cluster count.
+  opt.epoch_fraction = 0.01;
+  auto tiny = sgm::core::build_epoch(store, {1.0, 1.0, 1.0}, opt, rng);
+  EXPECT_EQ(tiny.indices.size(), 3u);
+  // Target above the universe: realized size is n.
+  opt.epoch_fraction = 3.0;
+  auto full = sgm::core::build_epoch(store, {1.0, 1.0, 1.0}, opt, rng);
+  EXPECT_EQ(full.indices.size(), 10u);
+}
+
 TEST(EpochBuilder, NoDuplicateWithinCluster) {
   ClusterStore store(tiny_clustering());
   sgm::util::Rng rng(11);
@@ -405,6 +447,34 @@ TEST(AsyncRebuilder, ProducesClusteringInBackground) {
   EXPECT_EQ(result->node_cluster.size(), 300u);
   // A second take must return nothing.
   EXPECT_FALSE(rebuilder.try_take().has_value());
+}
+
+TEST(AsyncRebuilder, ProviderEvaluationChargedToRefreshSeconds) {
+  // The async path evaluates the outputs provider synchronously on the
+  // training thread; that time must show up in refresh_seconds() even
+  // though the graph build itself overlaps training.
+  sgm::util::Rng rng(19);
+  const Matrix pts = random_cloud(150, rng);
+  SgmOptions opt = fast_options();
+  opt.async_rebuild = true;
+  opt.tau_g = 5;
+  opt.tau_e = 1000;  // one score refresh at it=0, then only the rebuild
+  opt.rebuild_output_weight = 1.0;
+  SgmSampler s(pts, opt);
+  const double baseline = s.refresh_seconds();
+  s.set_outputs_provider([&](const std::vector<std::uint32_t>& rows) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    Matrix out(rows.size(), 1);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      out(i, 0) = pts(rows[i], 0);
+    return out;
+  });
+  auto eval = [](const std::vector<std::uint32_t>& rows) {
+    return std::vector<double>(rows.size(), 1.0);
+  };
+  for (std::uint64_t it = 0; it < 6; ++it) s.maybe_refresh(it, eval, rng);
+  // sleep_for's lower bound is guaranteed, so >= 20ms is deterministic.
+  EXPECT_GE(s.refresh_seconds() - baseline, 0.020);
 }
 
 TEST(AsyncRebuilder, AsyncSamplerSwapsIn) {

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "graph/hnsw.hpp"
 #include "graph/knn.hpp"
@@ -184,6 +185,41 @@ TEST(Hnsw, GraphConstructionConnectsCloud) {
   const CsrGraph g = sgm::graph::build_knn_graph_hnsw(pts, gopt, {});
   EXPECT_EQ(g.num_nodes(), 500u);
   EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Hnsw, ConcurrentQueriesMatchSerial) {
+  // Queries carry their visit tracking in caller-owned scratch, so a shared
+  // const index must give concurrent callers exactly the serial answers.
+  // (Run under -DSGM_TSAN=ON this also proves the old mutable-member race
+  // is gone.)
+  sgm::util::Rng rng(12);
+  const std::size_t n = 800, k = 6;
+  const Matrix pts = random_points(n, 2, rng);
+  const sgm::graph::HnswIndex index(pts, {});
+
+  std::vector<KnnResult> serial(n);
+  for (std::size_t i = 0; i < n; ++i)
+    serial[i] = index.query_point(static_cast<sgm::graph::NodeId>(i), k);
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<KnnResult> concurrent(n);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      sgm::graph::HnswIndex::SearchScratch scratch;
+      for (std::size_t i = t; i < n; i += kThreads)
+        concurrent[i] =
+            index.query_point(static_cast<sgm::graph::NodeId>(i), k, scratch);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(serial[i].index.size(), concurrent[i].index.size());
+    EXPECT_EQ(serial[i].index, concurrent[i].index) << "point " << i;
+    for (std::size_t j = 0; j < serial[i].dist2.size(); ++j)
+      EXPECT_EQ(serial[i].dist2[j], concurrent[i].dist2[j]);
+  }
 }
 
 TEST(Hnsw, ResultsSortedByDistance) {

@@ -1,0 +1,248 @@
+// Tests for the threading substrate (util/thread_pool.*) and the refresh
+// engine's core determinism contract: for a fixed seed, the S1 PGM build and
+// the S2 LRD decomposition must be byte-identical at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/pgm.hpp"
+#include "graph/hnsw.hpp"
+#include "graph/knn.hpp"
+#include "graph/lrd.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using sgm::graph::CsrGraph;
+using sgm::tensor::Matrix;
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  sgm::util::ThreadPool pool(2);
+  auto f1 = pool.submit([]() { return 41 + 1; });
+  auto f2 = pool.submit([]() { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, RunsManyTasks) {
+  sgm::util::ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&sum]() { sum.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  sgm::util::ThreadPool pool(1);
+  auto f = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveThreadsPassesThroughExplicitCounts) {
+  EXPECT_EQ(sgm::util::resolve_threads(1), 1u);
+  EXPECT_EQ(sgm::util::resolve_threads(7), 7u);
+  EXPECT_GE(sgm::util::resolve_threads(0), 1u);
+}
+
+// ------------------------------------------------------- parallel_for(_chunks)
+
+TEST(ParallelFor, ChunkLayoutMatchesGrain) {
+  EXPECT_EQ(sgm::util::num_chunks(0, 10, 4), 3u);
+  EXPECT_EQ(sgm::util::num_chunks(0, 12, 4), 3u);
+  EXPECT_EQ(sgm::util::num_chunks(5, 5, 4), 0u);
+  EXPECT_EQ(sgm::util::num_chunks(0, 1, 100), 1u);
+}
+
+TEST(ParallelFor, ChunksCoverRangeExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<int> hits(1000, 0);
+    std::vector<int> chunk_of(1000, -1);
+    sgm::util::parallel_for_chunks(
+        0, 1000, 64, threads,
+        [&](std::size_t b, std::size_t e, std::size_t c) {
+          for (std::size_t i = b; i < e; ++i) {
+            ++hits[i];
+            chunk_of[i] = static_cast<int>(c);
+          }
+        });
+    for (std::size_t i = 0; i < 1000; ++i) {
+      EXPECT_EQ(hits[i], 1) << "index " << i << " threads " << threads;
+      // Chunk index must follow the fixed grain layout, not the thread count.
+      EXPECT_EQ(chunk_of[i], static_cast<int>(i / 64));
+    }
+  }
+}
+
+TEST(ParallelFor, PerIndexVariantCoversRange) {
+  std::vector<std::atomic<int>> hits(500);
+  sgm::util::parallel_for(0, 500, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  EXPECT_THROW(
+      sgm::util::parallel_for_chunks(
+          0, 100, 1, 4,
+          [](std::size_t b, std::size_t, std::size_t) {
+            if (b == 37) throw std::runtime_error("chunk 37");
+          }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedLoopsDoNotDeadlock) {
+  std::atomic<int> total{0};
+  sgm::util::parallel_for_chunks(
+      0, 8, 1, 4, [&](std::size_t, std::size_t, std::size_t) {
+        sgm::util::parallel_for_chunks(
+            0, 8, 1, 4, [&](std::size_t, std::size_t, std::size_t) {
+              total.fetch_add(1);
+            });
+      });
+  EXPECT_EQ(total.load(), 64);
+}
+
+// --------------------------------------------- serial-vs-parallel identity --
+
+Matrix random_points(std::size_t n, std::size_t d, sgm::util::Rng& rng) {
+  Matrix m(n, d);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform();
+  return m;
+}
+
+void expect_identical_graphs(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (sgm::graph::EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+    // Bitwise-equal weights, not just close: the determinism contract.
+    EXPECT_EQ(a.edge(e).w, b.edge(e).w) << "edge " << e;
+  }
+}
+
+TEST(ParallelRefresh, KdTreePgmByteIdenticalAcrossThreadCounts) {
+  sgm::util::Rng rng(21);
+  const Matrix pts = random_points(1500, 2, rng);
+  for (auto weight :
+       {sgm::graph::KnnWeight::kInverse, sgm::graph::KnnWeight::kGauss}) {
+    sgm::graph::KnnGraphOptions opt;
+    opt.k = 8;
+    opt.weight = weight;
+    opt.num_threads = 1;
+    const CsrGraph serial = sgm::graph::build_knn_graph(pts, opt);
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      opt.num_threads = threads;
+      expect_identical_graphs(serial, sgm::graph::build_knn_graph(pts, opt));
+    }
+  }
+}
+
+TEST(ParallelRefresh, MutualPgmByteIdenticalAcrossThreadCounts) {
+  sgm::util::Rng rng(22);
+  const Matrix pts = random_points(900, 3, rng);
+  sgm::graph::KnnGraphOptions opt;
+  opt.k = 6;
+  opt.mutual = true;
+  opt.num_threads = 1;
+  const CsrGraph serial = sgm::graph::build_knn_graph(pts, opt);
+  opt.num_threads = 4;
+  expect_identical_graphs(serial, sgm::graph::build_knn_graph(pts, opt));
+}
+
+TEST(ParallelRefresh, HnswPgmByteIdenticalAcrossThreadCounts) {
+  sgm::util::Rng rng(23);
+  const Matrix pts = random_points(1200, 2, rng);
+  sgm::graph::KnnGraphOptions gopt;
+  gopt.k = 8;
+  sgm::graph::HnswOptions hopt;
+  gopt.num_threads = 1;
+  const CsrGraph serial = sgm::graph::build_knn_graph_hnsw(pts, gopt, hopt);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    gopt.num_threads = threads;
+    expect_identical_graphs(
+        serial, sgm::graph::build_knn_graph_hnsw(pts, gopt, hopt));
+  }
+}
+
+TEST(ParallelRefresh, BuildPgmThreadOverridePlumbsThrough) {
+  sgm::util::Rng rng(24);
+  const Matrix pts = random_points(600, 2, rng);
+  sgm::core::PgmOptions opt;
+  opt.knn.k = 6;
+  opt.num_threads = 1;
+  const CsrGraph serial = sgm::core::build_pgm(pts, nullptr, opt);
+  opt.num_threads = 4;
+  expect_identical_graphs(serial, sgm::core::build_pgm(pts, nullptr, opt));
+}
+
+TEST(ParallelRefresh, LrdClusteringIdenticalAcrossThreadCounts) {
+  sgm::util::Rng rng(25);
+  const Matrix pts = random_points(1000, 2, rng);
+  sgm::graph::KnnGraphOptions kopt;
+  kopt.k = 8;
+  kopt.num_threads = 1;
+  const CsrGraph g = sgm::graph::build_knn_graph(pts, kopt);
+
+  for (auto method :
+       {sgm::graph::ErMethod::kSmoothed, sgm::graph::ErMethod::kJlSolve}) {
+    sgm::graph::LrdOptions opt;
+    opt.levels = 6;
+    opt.er.method = method;
+    opt.er.num_vectors = 6;
+    opt.er.smoothing_iterations = 15;
+    opt.num_threads = 1;
+    const sgm::graph::Clustering serial = sgm::graph::lrd_decompose(g, opt);
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      opt.num_threads = threads;
+      const sgm::graph::Clustering par = sgm::graph::lrd_decompose(g, opt);
+      EXPECT_EQ(serial.num_clusters, par.num_clusters);
+      ASSERT_EQ(serial.node_cluster.size(), par.node_cluster.size());
+      EXPECT_EQ(serial.node_cluster, par.node_cluster);
+      ASSERT_EQ(serial.cluster_diameter.size(), par.cluster_diameter.size());
+      for (std::size_t c = 0; c < serial.cluster_diameter.size(); ++c)
+        EXPECT_EQ(serial.cluster_diameter[c], par.cluster_diameter[c]);
+    }
+  }
+}
+
+TEST(ParallelRefresh, SymmetrizeEdgesMatchesSerialReference) {
+  // Random multi-edge soup with duplicates both ways around.
+  sgm::util::Rng rng(26);
+  std::vector<sgm::graph::Edge> edges;
+  for (int i = 0; i < 5000; ++i) {
+    const auto u = static_cast<sgm::graph::NodeId>(rng.uniform_index(300));
+    const auto v = static_cast<sgm::graph::NodeId>(rng.uniform_index(300));
+    if (u == v) continue;
+    edges.push_back({u, v, 1.0 + static_cast<double>(std::min(u, v))});
+  }
+  auto serial = edges;
+  sgm::graph::symmetrize_edges(serial, 1);
+  auto parallel = edges;
+  sgm::graph::symmetrize_edges(parallel, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].u, parallel[i].u);
+    EXPECT_EQ(serial[i].v, parallel[i].v);
+    EXPECT_EQ(serial[i].w, parallel[i].w);
+    EXPECT_LT(serial[i].u, serial[i].v);
+    if (i > 0) {
+      EXPECT_TRUE(serial[i - 1].u < serial[i].u ||
+                  (serial[i - 1].u == serial[i].u &&
+                   serial[i - 1].v < serial[i].v));
+    }
+  }
+}
+
+}  // namespace

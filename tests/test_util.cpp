@@ -70,6 +70,12 @@ TEST(Rng, UniformIndexCoversAndBounded) {
   EXPECT_EQ(seen.size(), 7u);
 }
 
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(10);
+  // (0 - n) % n with n == 0 would be UB; must refuse instead.
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
 TEST(Rng, SampleWithoutReplacementDistinct) {
   Rng rng(11);
   for (std::uint32_t n : {5u, 50u, 1000u}) {
