@@ -66,6 +66,6 @@ int main() {
                                    seeds, validate_every));
 
   bench::print_curves("Figure 2: LDC solution error of v by wall time",
-                      results, "v", "fig2");
+                      results, "v", "fig2", /*scenario=*/"ldc_zeroeq");
   return 0;
 }

@@ -75,6 +75,6 @@ int main() {
 
   bench::print_curves(
       "Figure 3: annular ring (parameterized) solution error of v vs time",
-      results, "v", "fig3");
+      results, "v", "fig3", /*scenario=*/"annular_ring_param");
   return 0;
 }

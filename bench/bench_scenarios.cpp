@@ -1,0 +1,63 @@
+// Scenario sweep: every registered scenario, uniform vs SGM, under one wall
+// budget — the "does importance sampling still pay off on every workload"
+// bench. New scenarios registered in src/pinn/scenario.cpp are picked up
+// automatically; with SGM_BENCH_JSON=1 each scenario writes its own
+// BENCH_scenario_<name>.json stamped with the scenario name.
+//
+//   SGM_BENCH_BUDGET   seconds of train wall time per arm (default 10)
+//   SGM_BENCH_SEEDS    seeds averaged per arm (default 1)
+//   SGM_BENCH_SCENARIO run only this scenario (default: all registered)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "pinn/scenario.hpp"
+
+using namespace sgm;
+
+int main() {
+  const double budget = bench::budget_seconds(10.0);
+  const int seeds = bench::num_seeds(1);
+  const char* only = std::getenv("SGM_BENCH_SCENARIO");
+
+  auto& registry = pinn::ScenarioRegistry::instance();
+  std::vector<std::string> names = registry.names();
+  if (only && *only) names = {only};
+
+  std::printf("bench_scenarios: %zu scenario(s), budget %.0fs/arm, %d "
+              "seed(s)\n",
+              names.size(), budget, seeds);
+
+  for (const auto& name : names) {
+    const pinn::ScenarioConfig cfg =
+        registry.make(name, pinn::ScenarioScale::kFull);
+    std::printf("\n--- %s: %s ---\n", name.c_str(), cfg.description.c_str());
+
+    bench::Arm uniform;
+    uniform.label = "uniform";
+    uniform.kind = bench::SamplerKind::kUniform;
+    uniform.batch_size = cfg.trainer.batch_size;
+
+    bench::Arm sgm;
+    sgm.label = cfg.sgm.use_isr ? "SGM-S (ours)" : "SGM (ours)";
+    sgm.kind = cfg.sgm.use_isr ? bench::SamplerKind::kSgmS
+                               : bench::SamplerKind::kSgm;
+    sgm.batch_size = cfg.trainer.batch_size;
+    sgm.sgm = cfg.sgm;
+
+    std::vector<std::string> metrics;
+    for (const auto& env : cfg.envelopes) metrics.push_back(env.metric);
+
+    std::vector<bench::ArmResult> results;
+    results.push_back(bench::run_arm(*cfg.problem, uniform, cfg.net, budget,
+                                     seeds, cfg.trainer.validate_every));
+    results.push_back(bench::run_arm(*cfg.problem, sgm, cfg.net, budget,
+                                     seeds, cfg.trainer.validate_every));
+
+    bench::print_min_time_table("Scenario " + name, results, metrics, name);
+  }
+  return 0;
+}

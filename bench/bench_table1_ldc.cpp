@@ -99,6 +99,6 @@ int main() {
 
   bench::print_min_time_table(
       "Table 1: LDC_zeroEq minimum validation errors and time to achieve",
-      results, {"u", "v", "nu"});
+      results, {"u", "v", "nu"}, /*scenario=*/"ldc_zeroeq");
   return 0;
 }

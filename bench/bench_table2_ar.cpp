@@ -66,7 +66,7 @@ int main() {
 
   bench::print_min_time_table(
       "Table 2: parameterized annular ring (averaged over r_i)", results,
-      {"u", "v", "p"});
+      {"u", "v", "p"}, /*scenario=*/"annular_ring_param");
 
   // The paper reports p at the iteration where v reaches its minimum
   // (p does not decrease monotonically); print that row explicitly.

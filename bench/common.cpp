@@ -133,7 +133,8 @@ ArmResult run_arm(const pinn::PinnProblem& problem, const Arm& arm,
 
 void print_min_time_table(const std::string& title,
                           const std::vector<ArmResult>& arms,
-                          const std::vector<std::string>& metrics) {
+                          const std::vector<std::string>& metrics,
+                          const std::string& scenario) {
   auto cell = [](double v) {
     char buf[32];
     if (std::isinf(v)) {
@@ -172,12 +173,13 @@ void print_min_time_table(const std::string& title,
     std::printf("  %-14s refresh %6.2fs, extra loss evals %llu\n",
                 a.arm.label.c_str(), a.refresh_seconds,
                 static_cast<unsigned long long>(a.loss_evaluations));
-  maybe_write_json(title, arms, metrics);
+  maybe_write_json(title, arms, metrics, scenario);
 }
 
 void print_curves(const std::string& title,
                   const std::vector<ArmResult>& arms,
-                  const std::string& metric, const std::string& csv_prefix) {
+                  const std::string& metric, const std::string& csv_prefix,
+                  const std::string& scenario) {
   std::printf("\n=== %s (error in '%s' vs train wall seconds) ===\n",
               title.c_str(), metric.c_str());
   for (const auto& a : arms) {
@@ -193,12 +195,13 @@ void print_curves(const std::string& title,
     }
     std::printf("   (series written to %s)\n", fname.c_str());
   }
-  maybe_write_json(title, arms, {metric});
+  maybe_write_json(title, arms, {metric}, scenario);
 }
 
 void maybe_write_json(const std::string& title,
                       const std::vector<ArmResult>& arms,
-                      const std::vector<std::string>& metrics) {
+                      const std::vector<std::string>& metrics,
+                      const std::string& scenario) {
   const char* env = std::getenv("SGM_BENCH_JSON");
   if (!env || std::string(env) == "0") return;
 
@@ -241,7 +244,8 @@ void maybe_write_json(const std::string& title,
                  fname.c_str());
     return;
   }
-  out << "{\n  \"title\": " << str(title) << ",\n  \"arms\": [\n";
+  out << "{\n  \"title\": " << str(title) << ",\n  \"scenario\": "
+      << str(scenario) << ",\n  \"arms\": [\n";
   for (std::size_t i = 0; i < arms.size(); ++i) {
     const auto& a = arms[i];
     out << "    {\n      \"label\": " << str(a.arm.label) << ",\n"

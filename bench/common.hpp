@@ -67,23 +67,29 @@ ArmResult run_arm(const pinn::PinnProblem& problem, const Arm& arm,
                   std::uint64_t validate_every);
 
 /// Renders the paper's "minimum + time-to-reach" table: one column per arm,
-/// Min(metric) rows followed by T(arm_metric) rows.
+/// Min(metric) rows followed by T(arm_metric) rows. `scenario` is the
+/// registry name of the workload (stamped into the JSON; "" if the bench
+/// does not map onto one scenario).
 void print_min_time_table(const std::string& title,
                           const std::vector<ArmResult>& arms,
-                          const std::vector<std::string>& metrics);
+                          const std::vector<std::string>& metrics,
+                          const std::string& scenario = "");
 
 /// Prints error-vs-wall-time series (one block per arm) and writes
 /// `prefix_<arm>.csv` files next to the binary.
 void print_curves(const std::string& title,
                   const std::vector<ArmResult>& arms,
-                  const std::string& metric, const std::string& csv_prefix);
+                  const std::string& metric, const std::string& csv_prefix,
+                  const std::string& scenario = "");
 
 /// When SGM_BENCH_JSON=1, writes `BENCH_<slug(title)>.json` next to the
-/// binary: per-arm best errors, refresh overhead and error-vs-time curves.
-/// Called automatically by print_min_time_table / print_curves, so every
-/// bench can feed the machine-readable perf trajectory without extra code.
+/// binary: the scenario name, per-arm best errors, refresh overhead and
+/// error-vs-time curves. Called automatically by print_min_time_table /
+/// print_curves, so every bench can feed the machine-readable perf
+/// trajectory without extra code.
 void maybe_write_json(const std::string& title,
                       const std::vector<ArmResult>& arms,
-                      const std::vector<std::string>& metrics);
+                      const std::vector<std::string>& metrics,
+                      const std::string& scenario = "");
 
 }  // namespace sgm::bench

@@ -1,11 +1,29 @@
 #!/usr/bin/env bash
-# One-command tier-1 verify: configure + build + ctest.
-#   scripts/check.sh [build-dir]      (extra CMake args via CMAKE_ARGS)
+# One-command verify: configure + build + ctest.
+#   scripts/check.sh [--tier1|--tier2] [build-dir]   (extra CMake args via CMAKE_ARGS)
+#
+# Default runs every ctest suite. --tier1 runs only the fast unit/property
+# suites (label tier1); --tier2 runs the end-to-end scenario regression
+# harness (label tier2), which itself trains every scenario's SGM arm at
+# num_threads=1 and =4 and asserts the histories are byte-identical.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+TIER=""
+case "${1:-}" in
+  --tier1) TIER="tier1"; shift ;;
+  --tier2) TIER="tier2"; shift ;;
+esac
 BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "$TIER" == "tier2" ]]; then
+  ctest --test-dir "$BUILD_DIR" -L tier2 --output-on-failure
+elif [[ "$TIER" == "tier1" ]]; then
+  ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

@@ -1,7 +1,10 @@
 #include "cfd/analytic.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace sgm::cfd {
 
@@ -54,6 +57,53 @@ double poisson_manufactured_solution(double x, double y) {
 
 double poisson_manufactured_rhs(double x, double y) {
   return 2.0 * M_PI * M_PI * std::sin(M_PI * x) * std::sin(M_PI * y);
+}
+
+double burgers_cole_hopf_solution(double x, double t, double nu) {
+  if (nu <= 0.0)
+    throw std::invalid_argument("burgers_cole_hopf_solution: nu must be > 0");
+  if (t <= 0.0) return -std::sin(M_PI * x);
+
+  // After eta = s z (s = sqrt(4 nu t)) both integrals carry the weight
+  // exp(-z^2), negligible beyond |z| = 8. The combined exponent
+  // -cos(pi y)/(2 pi nu) - z^2 is shifted by its maximum before
+  // exponentiating (the shift cancels in the ratio), so small nu cannot
+  // overflow.
+  const double s = std::sqrt(4.0 * nu * t);
+  const double z_max = 8.0;
+  const int n = 512;  // composite Simpson intervals (even)
+  const double h = 2.0 * z_max / n;
+
+  std::vector<double> expo(n + 1);
+  double peak = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= n; ++i) {
+    const double z = -z_max + i * h;
+    const double y = x - s * z;
+    expo[i] = -std::cos(M_PI * y) / (2.0 * M_PI * nu) - z * z;
+    peak = std::max(peak, expo[i]);
+  }
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double z = -z_max + i * h;
+    const double y = x - s * z;
+    const double f = std::exp(expo[i] - peak);
+    const double w = (i == 0 || i == n) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+    num += w * std::sin(M_PI * y) * f;
+    den += w * f;
+  }
+  return -num / den;
+}
+
+double helmholtz_manufactured_solution(double x, double y, int a1, int a2) {
+  return std::sin(a1 * M_PI * x) * std::sin(a2 * M_PI * y);
+}
+
+double helmholtz_manufactured_rhs(double x, double y, int a1, int a2,
+                                  double wavenumber) {
+  const double k2 = wavenumber * wavenumber;
+  const double lam = (static_cast<double>(a1) * a1 +
+                      static_cast<double>(a2) * a2) * M_PI * M_PI;
+  return (k2 - lam) * helmholtz_manufactured_solution(x, y, a1, a2);
 }
 
 }  // namespace sgm::cfd

@@ -50,4 +50,27 @@ double plane_poiseuille_velocity(double y, double height, double g,
 double poisson_manufactured_solution(double x, double y);
 double poisson_manufactured_rhs(double x, double y);
 
+/// Exact solution of the 1-D viscous Burgers equation
+///   u_t + u u_x = nu u_xx   on x in [-1, 1], t >= 0,
+///   u(x, 0) = -sin(pi x),   u(-1, t) = u(1, t) = 0,
+/// via the Cole–Hopf transform (Basdevant et al. 1986):
+///   u(x, t) = -I1 / I2 with
+///   I1 = int sin(pi(x - eta)) f(x - eta) exp(-eta^2 / 4 nu t) deta
+///   I2 = int              f(x - eta) exp(-eta^2 / 4 nu t) deta
+///   f(y) = exp(-cos(pi y) / (2 pi nu)).
+/// The Gaussian-weighted integrals are evaluated with composite Simpson
+/// quadrature after the substitution eta = sqrt(4 nu t) z; accurate to
+/// ~1e-10 for nu >= 1e-3. t <= 0 returns the initial condition.
+double burgers_cole_hopf_solution(double x, double t, double nu);
+
+/// Manufactured 2-D Helmholtz problem on the unit square:
+///   nabla^2 u + k^2 u = q,   u = 0 on the boundary,
+///   u(x, y) = sin(a1 pi x) sin(a2 pi y)
+///   q(x, y) = (k^2 - (a1^2 + a2^2) pi^2) u(x, y).
+/// Integer a1/a2 keep the boundary condition exact; large a2 makes the
+/// field oscillatory, the regime that stresses importance sampling.
+double helmholtz_manufactured_solution(double x, double y, int a1, int a2);
+double helmholtz_manufactured_rhs(double x, double y, int a1, int a2,
+                                  double wavenumber);
+
 }  // namespace sgm::cfd

@@ -40,6 +40,17 @@ void SgmSampler::rebuild_clusters(util::Rng& rng) {
     // refresh_seconds_ undercounts exactly when async + output-weighted
     // rebuilds are both on.
     util::WallTimer timer;
+    // Reap any still-running previous rebuild first: launch() would
+    // silently no-op on a busy worker, which both wastes the provider
+    // evaluation below and makes *whether* this rebuild happens depend on
+    // worker timing. Waiting keeps every scheduled rebuild real and the
+    // clustering stream a pure function of the iteration schedule; the
+    // stall only triggers when a rebuild outlives a whole tau_g window.
+    async_.wait();
+    if (auto done = async_.try_take()) {
+      clusters_ = ClusterStore(std::move(*done));
+      ++rebuild_count_;
+    }
     std::unique_ptr<Matrix> outputs;
     if (outputs_provider_ && opt_.rebuild_output_weight > 0.0) {
       std::vector<std::uint32_t> all(points_.rows());
@@ -103,8 +114,26 @@ void SgmSampler::maybe_refresh(std::uint64_t iteration,
       refresh_seconds_ += swap_timer.elapsed_s();
     }
   }
+  // Determinism barrier: a score refresh synchronizes with any in-flight
+  // async rebuild before reading the clustering, so which clustering a
+  // given epoch is built from depends only on the iteration schedule —
+  // never on worker-thread timing — and same-seed runs produce identical
+  // histories. The barrier runs BEFORE a possible same-iteration rebuild
+  // launch (tau_g aligned to a tau_e multiple is the recommended setup):
+  // that launch then overlaps the next window instead of being waited on
+  // immediately. The (rare) wait is sampler overhead, charged accordingly.
+  const bool score_now = schedule_.should_score(iteration);
+  if (score_now && opt_.async_rebuild) {
+    util::WallTimer wait_timer;
+    async_.wait();  // no-op when nothing is in flight
+    if (auto done = async_.try_take()) {
+      clusters_ = ClusterStore(std::move(*done));
+      ++rebuild_count_;
+    }
+    refresh_seconds_ += wait_timer.elapsed_s();
+  }
   if (schedule_.should_rebuild(iteration)) rebuild_clusters(rng);
-  if (!schedule_.should_score(iteration)) return;
+  if (!score_now) return;
 
   util::WallTimer timer;
   // Lines 5-6: r% representatives per cluster, score their losses.

@@ -1,0 +1,71 @@
+#pragma once
+// 1-D viscous Burgers equation — the shock-forming scenario:
+//
+//   u_t + u u_x = nu u_xx   on (x, t) in [-1, 1] x [0, t_final],
+//   u(x, 0) = -sin(pi x),   u(-1, t) = u(1, t) = 0.
+//
+// The solution steepens into a near-shock at x = 0 around t = 1/pi, so the
+// PDE residual concentrates in a thin moving band — a natural importance-
+// sampling workload. Validation is exact: the Cole–Hopf closed form in
+// cfd/analytic.hpp, evaluated on a space-time grid at construction.
+//
+// Network inputs : (x, t);  network output: u.
+
+#include "nn/mlp.hpp"
+#include "pinn/pde.hpp"
+
+namespace sgm::pinn {
+
+class BurgersProblem final : public PinnProblem {
+ public:
+  struct Options {
+    double nu = 0.02;            ///< viscosity (0.01/pi is the classic case)
+    double t_final = 1.0;
+    std::size_t interior_points = 4096;   ///< (x, t) collocation cloud
+    std::size_t initial_points = 256;     ///< t = 0 line, u = -sin(pi x)
+    std::size_t wall_points = 128;        ///< per wall x = +-1, u = 0
+    std::size_t boundary_batch = 128;     ///< IC/BC rows per training step
+    double boundary_weight = 10.0;
+    /// Validation grid: nx equispaced x at nt equispaced times in
+    /// (0, t_final].
+    std::size_t validation_nx = 64;
+    std::size_t validation_nt = 4;
+    std::uint64_t seed = 29;
+  };
+
+  explicit BurgersProblem(const Options& options);
+
+  std::string name() const override { return "burgers1d"; }
+  const tensor::Matrix& interior_points() const override { return interior_; }
+  std::size_t input_dim() const override { return 2; }
+  std::size_t output_dim() const override { return 1; }
+
+  tensor::VarId batch_loss(tensor::Tape& tape, const nn::Mlp& net,
+                           const nn::Mlp::Binding& binding,
+                           const std::vector<std::uint32_t>& rows,
+                           util::Rng& rng) const override;
+
+  std::vector<double> pointwise_residual(
+      const nn::Mlp& net,
+      const std::vector<std::uint32_t>& rows) const override;
+
+  /// Relative L2 of u against the Cole–Hopf solution over the space-time
+  /// validation grid.
+  std::vector<ValidationEntry> validate(const nn::Mlp& net) const override;
+
+  const Options& options() const { return opt_; }
+
+ private:
+  tensor::VarId residual_on_tape(tensor::Tape& tape, const nn::Mlp& net,
+                                 const nn::Mlp::Binding& binding,
+                                 const tensor::Matrix& batch) const;
+
+  Options opt_;
+  tensor::Matrix interior_;        // N x 2 (x, t)
+  tensor::Matrix boundary_;        // Nb x 2 (IC line + both walls)
+  tensor::Matrix boundary_value_;  // Nb x 1 target u
+  tensor::Matrix validation_pts_;  // Nv x 2
+  std::vector<double> validation_ref_;
+};
+
+}  // namespace sgm::pinn

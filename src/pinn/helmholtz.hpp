@@ -1,0 +1,64 @@
+#pragma once
+// 2-D Helmholtz equation on the unit square — the oscillatory scenario:
+//
+//   nabla^2 u + k^2 u = q,   u = 0 on the boundary,
+//
+// with the manufactured solution u = sin(a1 pi x) sin(a2 pi y) from
+// cfd/analytic.hpp. An anisotropic mode pair (a1 = 1, a2 = 4 by default)
+// gives a field that oscillates much faster in y than in x; the residual
+// of an undertrained network is spread over many small high-frequency
+// pockets, which stresses importance sampling far more than the smooth
+// Poisson bump.
+//
+// Network inputs : (x, y);  network output: u.
+
+#include "nn/mlp.hpp"
+#include "pinn/pde.hpp"
+
+namespace sgm::pinn {
+
+class HelmholtzProblem final : public PinnProblem {
+ public:
+  struct Options {
+    int a1 = 1;                  ///< x mode number
+    int a2 = 4;                  ///< y mode number (the oscillatory axis)
+    double wavenumber = 1.0;     ///< k in nabla^2 u + k^2 u = q
+    std::size_t interior_points = 4096;
+    std::size_t boundary_points = 512;   ///< total across the four walls
+    std::size_t boundary_batch = 128;    ///< per training step
+    double boundary_weight = 10.0;
+    std::uint64_t seed = 31;
+  };
+
+  explicit HelmholtzProblem(const Options& options);
+
+  std::string name() const override { return "helmholtz2d"; }
+  const tensor::Matrix& interior_points() const override { return interior_; }
+  std::size_t input_dim() const override { return 2; }
+  std::size_t output_dim() const override { return 1; }
+
+  tensor::VarId batch_loss(tensor::Tape& tape, const nn::Mlp& net,
+                           const nn::Mlp::Binding& binding,
+                           const std::vector<std::uint32_t>& rows,
+                           util::Rng& rng) const override;
+
+  std::vector<double> pointwise_residual(
+      const nn::Mlp& net,
+      const std::vector<std::uint32_t>& rows) const override;
+
+  /// Relative L2 of u against the manufactured solution on an interior grid.
+  std::vector<ValidationEntry> validate(const nn::Mlp& net) const override;
+
+  const Options& options() const { return opt_; }
+
+ private:
+  tensor::VarId residual_on_tape(tensor::Tape& tape, const nn::Mlp& net,
+                                 const nn::Mlp::Binding& binding,
+                                 const tensor::Matrix& batch) const;
+
+  Options opt_;
+  tensor::Matrix interior_;   // N x 2
+  tensor::Matrix boundary_;   // Nb x 2 (u = 0 on all four walls)
+};
+
+}  // namespace sgm::pinn

@@ -40,7 +40,6 @@ TrainHistory Trainer::run() {
       };
 
   std::unique_ptr<util::CsvWriter> csv;
-  std::vector<std::string> metric_names;
 
   TrainHistory history;
   history.sampler_name = sampler_.name();
@@ -60,10 +59,7 @@ TrainHistory Trainer::run() {
       if (!csv) {
         std::vector<std::string> header = {"iteration", "train_wall_s",
                                            "mean_loss"};
-        for (const auto& e : rec.validation) {
-          header.push_back("err_" + e.name);
-          metric_names.push_back(e.name);
-        }
+        for (const auto& e : rec.validation) header.push_back("err_" + e.name);
         csv = std::make_unique<util::CsvWriter>(opt_.telemetry_csv, header);
       }
       std::vector<double> row = {static_cast<double>(iteration), train_wall,

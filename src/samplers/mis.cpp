@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace sgm::samplers {
 
@@ -14,13 +15,53 @@ MisSampler::MisSampler(const Matrix& points, const MisOptions& options)
 std::vector<std::uint32_t> MisSampler::next_batch(std::size_t batch_size,
                                                   util::Rng& rng) {
   const std::uint32_t n = static_cast<std::uint32_t>(points_.rows());
+  // Before the first refresh we have no loss information: uniform.
+  auto draw = [&]() -> std::uint32_t {
+    return table_ ? table_->sample(rng)
+                  : static_cast<std::uint32_t>(rng.uniform_index(n));
+  };
+
   std::vector<std::uint32_t> batch(batch_size);
-  if (!table_) {
-    // Before the first refresh we have no loss information: uniform.
-    for (auto& b : batch) b = static_cast<std::uint32_t>(rng.uniform_index(n));
+  if (!opt_.exclusion_graph) {
+    for (auto& b : batch) b = draw();
     return batch;
   }
-  for (auto& b : batch) b = table_->sample(rng);
+
+  // PGM-independent batch: no candidate adjacent (in the exclusion graph)
+  // to an already-selected point, and no duplicates. Rejection sampling
+  // keeps the loss-proportional distribution; the deterministic wrap-around
+  // scan only engages when the batch has nearly saturated the graph's
+  // independence number.
+  const graph::CsrGraph& g = *opt_.exclusion_graph;
+  if (selected_stamp_.size() != n) selected_stamp_.assign(n, 0);
+  const std::uint64_t stamp = ++batch_stamp_;
+  auto conflicts = [&](std::uint32_t c) {
+    if (selected_stamp_[c] == stamp) return true;
+    for (const auto v : g.neighbors(c))
+      if (selected_stamp_[v] == stamp) return true;
+    return false;
+  };
+  for (auto& b : batch) {
+    std::uint32_t c = 0;
+    bool ok = false;
+    for (int attempt = 0; attempt < 64 && !ok; ++attempt) {
+      c = draw();
+      ok = !conflicts(c);
+    }
+    if (!ok) {
+      const auto start = static_cast<std::uint32_t>(rng.uniform_index(n));
+      for (std::uint32_t off = 0; off < n && !ok; ++off) {
+        c = (start + off) % n;
+        ok = !conflicts(c);
+      }
+    }
+    if (!ok)
+      throw std::runtime_error(
+          "MisSampler: exclusion graph admits no independent batch of size " +
+          std::to_string(batch_size));
+    selected_stamp_[c] = stamp;
+    b = c;
+  }
   return batch;
 }
 

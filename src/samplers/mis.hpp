@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "graph/csr.hpp"
 #include "graph/knn.hpp"
 #include "samplers/sampler.hpp"
 #include "tensor/matrix.hpp"
@@ -28,6 +29,14 @@ struct MisOptions {
   /// Mixing floor: P = (1-floor)*P_loss + floor*uniform. Keeps every point
   /// reachable (Modulus uses a similar safeguard).
   double uniform_floor = 0.05;
+  /// Optional batch de-correlation against the PGM: when set (must outlive
+  /// the sampler and index the same point cloud), a batch never contains
+  /// both endpoints of one of this graph's edges — near-duplicate
+  /// collocation points carry almost the same gradient, so spending two
+  /// batch slots on a kNN pair is wasted work. Draws are rejected while
+  /// adjacent to an already-selected point (deterministic scan fallback);
+  /// throws std::runtime_error if no independent point is left.
+  const graph::CsrGraph* exclusion_graph = nullptr;
 };
 
 class MisSampler final : public Sampler {
@@ -54,6 +63,11 @@ class MisSampler final : public Sampler {
   std::unique_ptr<AliasTable> table_;
   std::uint64_t last_refresh_ = 0;
   bool ever_refreshed_ = false;
+  /// Exclusion-path scratch: selected_stamp_[i] == batch_stamp_ marks i as
+  /// taken by the batch being assembled (generation counter, so next_batch
+  /// stays O(batch * degree) instead of clearing O(n) state per call).
+  std::vector<std::uint64_t> selected_stamp_;
+  std::uint64_t batch_stamp_ = 0;
 };
 
 }  // namespace sgm::samplers

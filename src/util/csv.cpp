@@ -6,8 +6,12 @@
 namespace sgm::util {
 
 std::string format_double(double v) {
+  // %.17g is the shortest fixed precision that round-trips every double
+  // through strtod (%.9g, used previously, silently lost the low 8 digits
+  // of mantissa — telemetry could not be compared exactly against the
+  // in-memory TrainHistory).
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
 

@@ -30,7 +30,7 @@ class CsvWriter {
   std::size_t columns_;
 };
 
-/// Formats a double compactly ("%.9g").
+/// Formats a double with round-trip precision ("%.17g").
 std::string format_double(double v);
 
 }  // namespace sgm::util

@@ -1,0 +1,39 @@
+#pragma once
+// Shared test helper: assert two TrainHistory objects are bitwise identical
+// in every deterministic field — iteration numbers, the loss stream, and
+// validation metric names/errors. Wall-clock fields are the only tolerated
+// nondeterminism. Used by the trainer determinism tests (same seed, two
+// runs) and the tier-2 harness (same seed, num_threads 1 vs 4).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pinn/trainer.hpp"
+
+namespace sgm::pinn::testutil {
+
+inline void expect_identical_histories(const TrainHistory& a,
+                                       const TrainHistory& b,
+                                       const std::string& label) {
+  EXPECT_EQ(a.sampler_name, b.sampler_name) << label;
+  EXPECT_EQ(a.sampler_loss_evaluations, b.sampler_loss_evaluations) << label;
+  ASSERT_EQ(a.records.size(), b.records.size()) << label;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    EXPECT_EQ(ra.iteration, rb.iteration) << label << " record " << i;
+    EXPECT_EQ(ra.mean_loss, rb.mean_loss)
+        << label << " record " << i << ": loss stream diverged";
+    ASSERT_EQ(ra.validation.size(), rb.validation.size())
+        << label << " record " << i;
+    for (std::size_t m = 0; m < ra.validation.size(); ++m) {
+      EXPECT_EQ(ra.validation[m].name, rb.validation[m].name)
+          << label << " record " << i;
+      EXPECT_EQ(ra.validation[m].error, rb.validation[m].error)
+          << label << " record " << i << " metric " << ra.validation[m].name;
+    }
+  }
+}
+
+}  // namespace sgm::pinn::testutil

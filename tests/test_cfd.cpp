@@ -215,4 +215,101 @@ TEST(PoissonManufactured, RhsMatchesNegativeLaplacian) {
   }
 }
 
+// ------------------------------------------------- Burgers (Cole-Hopf) ----
+
+TEST(BurgersColeHopf, RecoversInitialConditionAtSmallTime) {
+  const double nu = 0.02;
+  for (double x = -0.9; x <= 0.9; x += 0.15) {
+    EXPECT_NEAR(sgm::cfd::burgers_cole_hopf_solution(x, 1e-8, nu),
+                -std::sin(M_PI * x), 1e-3)
+        << "x=" << x;
+    EXPECT_DOUBLE_EQ(sgm::cfd::burgers_cole_hopf_solution(x, 0.0, nu),
+                     -std::sin(M_PI * x));
+  }
+}
+
+TEST(BurgersColeHopf, OddSymmetryAndHomogeneousWalls) {
+  const double nu = 0.05;
+  for (double t : {0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(sgm::cfd::burgers_cole_hopf_solution(-1.0, t, nu), 0.0, 1e-9);
+    EXPECT_NEAR(sgm::cfd::burgers_cole_hopf_solution(1.0, t, nu), 0.0, 1e-9);
+    EXPECT_NEAR(sgm::cfd::burgers_cole_hopf_solution(0.0, t, nu), 0.0, 1e-9);
+    for (double x : {0.2, 0.45, 0.8})
+      EXPECT_NEAR(sgm::cfd::burgers_cole_hopf_solution(-x, t, nu),
+                  -sgm::cfd::burgers_cole_hopf_solution(x, t, nu), 1e-8)
+          << "x=" << x << " t=" << t;
+  }
+}
+
+TEST(BurgersColeHopf, SatisfiesThePdeByFiniteDifferences) {
+  // The strongest check: u_t + u u_x - nu u_xx = 0 at interior points,
+  // with all three derivatives taken by central differences of the
+  // closed-form evaluation itself.
+  const double nu = 0.05;
+  const double hx = 1e-4, ht = 1e-4;
+  auto u = [&](double x, double t) {
+    return sgm::cfd::burgers_cole_hopf_solution(x, t, nu);
+  };
+  for (double t : {0.3, 0.8}) {
+    for (double x : {-0.6, -0.25, 0.35, 0.7}) {
+      const double u0 = u(x, t);
+      const double ut = (u(x, t + ht) - u(x, t - ht)) / (2 * ht);
+      const double ux = (u(x + hx, t) - u(x - hx, t)) / (2 * hx);
+      const double uxx = (u(x + hx, t) - 2 * u0 + u(x - hx, t)) / (hx * hx);
+      const double residual = ut + u0 * ux - nu * uxx;
+      // Scale tolerance by the local gradient (the FD error term).
+      EXPECT_NEAR(residual, 0.0, 5e-3 * (1.0 + std::fabs(ux)))
+          << "x=" << x << " t=" << t;
+    }
+  }
+}
+
+TEST(BurgersColeHopf, SteepensTowardAShockAtTheOrigin) {
+  // By t = 1/pi the profile forms a near-discontinuity at x = 0 for small
+  // nu: the gradient there must dwarf the initial -pi.
+  const double nu = 0.01 / M_PI;
+  const double h = 1e-3;
+  const double grad0 =
+      (sgm::cfd::burgers_cole_hopf_solution(h, 1.0 / M_PI, nu) -
+       sgm::cfd::burgers_cole_hopf_solution(-h, 1.0 / M_PI, nu)) /
+      (2 * h);
+  EXPECT_LT(grad0, -30.0);  // ~ -152 in the exact solution
+  EXPECT_THROW(sgm::cfd::burgers_cole_hopf_solution(0.0, 0.5, 0.0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------ Helmholtz manufactured ----
+
+TEST(HelmholtzManufactured, RhsMatchesLaplacianByFiniteDifferences) {
+  const int a1 = 1, a2 = 4;
+  const double k = 1.0;
+  const double h = 1e-4;
+  auto u = [&](double x, double y) {
+    return sgm::cfd::helmholtz_manufactured_solution(x, y, a1, a2);
+  };
+  for (double x : {0.17, 0.5, 0.83}) {
+    for (double y : {0.21, 0.44, 0.9}) {
+      const double lap = (u(x + h, y) + u(x - h, y) + u(x, y + h) +
+                          u(x, y - h) - 4 * u(x, y)) /
+                         (h * h);
+      const double rhs =
+          sgm::cfd::helmholtz_manufactured_rhs(x, y, a1, a2, k);
+      EXPECT_NEAR(lap + k * k * u(x, y), rhs, 1e-4) << x << "," << y;
+    }
+  }
+}
+
+TEST(HelmholtzManufactured, VanishesOnTheBoundary) {
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    EXPECT_NEAR(sgm::cfd::helmholtz_manufactured_solution(0.0, s, 1, 4), 0.0,
+                1e-12);
+    EXPECT_NEAR(sgm::cfd::helmholtz_manufactured_solution(1.0, s, 1, 4), 0.0,
+                1e-12);
+    EXPECT_NEAR(sgm::cfd::helmholtz_manufactured_solution(s, 0.0, 1, 4), 0.0,
+                1e-12);
+    EXPECT_NEAR(sgm::cfd::helmholtz_manufactured_solution(s, 1.0, 1, 4), 0.0,
+                1e-12);
+  }
+}
+
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <tuple>
 
 #include "graph/effective_resistance.hpp"
 #include "graph/knn.hpp"
@@ -38,6 +39,19 @@ CsrGraph grid_graph(std::uint32_t nx, std::uint32_t ny) {
   return CsrGraph::from_edges(nx * ny, std::move(edges));
 }
 
+CsrGraph cycle_graph(std::uint32_t n, double w = 1.0) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n, w});
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+CsrGraph complete_graph(std::uint32_t n, double w = 1.0) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j) edges.push_back({i, j, w});
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
 // ------------------------------------------------------ exact ER formulas --
 
 TEST(EffectiveResistance, ExactOnPathIsAdditive) {
@@ -67,6 +81,103 @@ TEST(EffectiveResistance, ExactEqualsFosterOnTriangle) {
       CsrGraph::from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
   EXPECT_NEAR(sgm::graph::exact_effective_resistance(g, 0, 1), 2.0 / 3.0,
               1e-9);
+}
+
+// ------------------------------------- golden values, embedding back-ends --
+
+// Golden pairwise resistances on analytically solvable graphs, checked for
+// both calibrated embedding back-ends (the exact eigendecomposition and the
+// Spielman–Srivastava JL solver) rather than only against each other:
+//   path   : R(0, j)    = j / w            (series resistors)
+//   cycle  : R(0, k)    = k (n - k) / (n w) (two parallel arcs)
+//   complete Kn : R(u,v) = 2 / (n w)        (any pair)
+// kExact must reproduce these to solver precision; kJlSolve concentrates as
+// 1/sqrt(num_vectors), so a generous fixed sketch gets a tight-but-honest
+// relative tolerance. (kSmoothed is rank-preserving only — it has no
+// calibrated golden value and keeps its ordering test below.)
+
+struct GoldenCase {
+  const char* name;
+  CsrGraph graph;
+  // (u, v, expected R) triplets.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, double>> pairs;
+  // Every edge of these graphs has the same analytic resistance:
+  // 1/w (path bridge), (n-1)/(n w) (cycle), 2/(n w) (complete).
+  double edge_resistance = 0.0;
+};
+
+std::vector<GoldenCase> golden_cases() {
+  std::vector<GoldenCase> cases;
+  {
+    GoldenCase c{"path8_w2", path_graph(8, 2.0), {}, 1.0 / 2.0};
+    for (std::uint32_t j = 1; j < 8; ++j)
+      c.pairs.emplace_back(0, j, j / 2.0);
+    cases.push_back(std::move(c));
+  }
+  {
+    const std::uint32_t n = 7;
+    GoldenCase c{"cycle7", cycle_graph(n), {}, (n - 1.0) / n};
+    for (std::uint32_t k = 1; k < n; ++k)
+      c.pairs.emplace_back(0, k, static_cast<double>(k) * (n - k) / n);
+    cases.push_back(std::move(c));
+  }
+  {
+    const std::uint32_t n = 6;
+    GoldenCase c{"complete6", complete_graph(n), {}, 2.0 / n};
+    for (std::uint32_t u = 0; u < n; ++u)
+      for (std::uint32_t v = u + 1; v < n; ++v)
+        c.pairs.emplace_back(u, v, 2.0 / n);
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+TEST(EffectiveResistance, GoldenValuesExactEmbedding) {
+  for (const auto& c : golden_cases()) {
+    ErOptions opt;
+    opt.method = ErMethod::kExact;
+    const Matrix z = sgm::graph::effective_resistance_embedding(c.graph, opt);
+    for (const auto& [u, v, expected] : c.pairs) {
+      EXPECT_NEAR(sgm::graph::er_from_embedding(z, u, v), expected, 1e-8)
+          << c.name << " R(" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(EffectiveResistance, GoldenValuesJlEmbedding) {
+  for (const auto& c : golden_cases()) {
+    ErOptions opt;
+    opt.method = ErMethod::kJlSolve;
+    opt.num_vectors = 1024;  // eps ~ 1/sqrt(t): ample for a 15% bound
+    opt.seed = 9;
+    const Matrix z = sgm::graph::effective_resistance_embedding(c.graph, opt);
+    for (const auto& [u, v, expected] : c.pairs) {
+      const double got = sgm::graph::er_from_embedding(z, u, v);
+      EXPECT_NEAR(got, expected, 0.15 * expected)
+          << c.name << " R(" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(EffectiveResistance, GoldenEdgeValuesBothMethods) {
+  // Per-edge readout (what LRD consumes): every path edge is a bridge with
+  // R_e = 1/w_e; every cycle edge sees (n-1)/n; every Kn edge sees 2/n.
+  for (const auto& c : golden_cases()) {
+    for (const ErMethod method : {ErMethod::kExact, ErMethod::kJlSolve}) {
+      ErOptions opt;
+      opt.method = method;
+      opt.num_vectors = 1024;
+      opt.seed = 9;
+      const Matrix z =
+          sgm::graph::effective_resistance_embedding(c.graph, opt);
+      const auto er = sgm::graph::edge_effective_resistance(c.graph, z);
+      const double expected = c.edge_resistance;
+      const double tol =
+          method == ErMethod::kExact ? 1e-8 : 0.15 * expected;
+      for (sgm::graph::EdgeId e = 0; e < c.graph.num_edges(); ++e)
+        EXPECT_NEAR(er[e], expected, tol) << c.name << " edge " << e;
+    }
+  }
 }
 
 // ---------------------------------------------------------- JL estimation --

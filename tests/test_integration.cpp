@@ -6,12 +6,19 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "core/sgm_sampler.hpp"
+#include "history_compare.hpp"
 #include "nn/mlp.hpp"
 #include "pinn/annular.hpp"
 #include "pinn/navier_stokes.hpp"
 #include "pinn/pde.hpp"
+#include "pinn/point_cloud.hpp"
+#include "pinn/thermal.hpp"
 #include "pinn/trainer.hpp"
 #include "pinn/validation.hpp"
 #include "samplers/mis.hpp"
@@ -194,6 +201,109 @@ TEST(Integration, IdenticalSeedsReproduceExactly) {
     return trainer.run().records.back().mean_loss;
   };
   EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Integration, TrainerHistoryDeterministicWithSgmRebuilds) {
+  sgm::pinn::PoissonProblem::Options popt;
+  popt.interior_points = 1024;
+  sgm::pinn::PoissonProblem problem(popt);
+  auto run_once = [&] {
+    Mlp net = make_net(2, 1, 19, 16, 2);
+    sgm::core::SgmOptions sopt;
+    sopt.pgm.knn.k = 6;
+    sopt.lrd.levels = 4;
+    sopt.tau_e = 60;
+    sopt.tau_g = 100;  // two synchronous S1/S2 rebuilds inside the run
+    sgm::core::SgmSampler sampler(problem.interior_points(), sopt);
+    auto topt = fast_trainer(240);
+    topt.validate_every = 60;
+    sgm::pinn::Trainer trainer(problem, net, sampler, topt);
+    return trainer.run();
+  };
+  sgm::pinn::testutil::expect_identical_histories(run_once(), run_once(),
+                                                  "sgm sync rebuilds");
+}
+
+TEST(Integration, TrainerHistoryDeterministicUnderAsyncRebuild) {
+  // The async path overlaps the background rebuild with ordinary training
+  // iterations, but both a score refresh (before building the next epoch)
+  // and a rebuild boundary (before launching the next build) synchronize
+  // with any in-flight rebuild — so which clustering each epoch uses
+  // depends only on the iteration schedule, never on worker-thread timing,
+  // and same-seed histories are identical by construction (not by
+  // scheduling luck). Output-weighted rebuilds are on, covering the
+  // provider-snapshot path as well.
+  sgm::pinn::PoissonProblem::Options popt;
+  popt.interior_points = 512;
+  sgm::pinn::PoissonProblem problem(popt);
+  auto run_once = [&] {
+    Mlp net = make_net(2, 1, 23, 16, 2);
+    sgm::core::SgmOptions sopt;
+    sopt.pgm.knn.k = 6;
+    sopt.lrd.levels = 4;
+    sopt.tau_e = 150;      // scores refresh at 0, 150, 300 (sync points)
+    sopt.tau_g = 110;      // async rebuilds launch at 110, 220, 330
+    sopt.async_rebuild = true;
+    sopt.rebuild_output_weight = 0.5;
+    sgm::core::SgmSampler sampler(problem.interior_points(), sopt);
+    sampler.set_outputs_provider([&](const std::vector<std::uint32_t>& rows) {
+      return net.forward(sgm::pinn::gather_rows(problem.interior_points(),
+                                                rows));
+    });
+    auto topt = fast_trainer(450);
+    topt.validate_every = 150;
+    sgm::pinn::Trainer trainer(problem, net, sampler, topt);
+    return trainer.run();
+  };
+  sgm::pinn::testutil::expect_identical_histories(run_once(), run_once(),
+                                                  "sgm async rebuild");
+}
+
+// Telemetry round-trip: the CSV must parse back into exactly the recorded
+// history — same column layout, bitwise-equal values (format_double writes
+// %.17g so doubles survive the text round trip).
+TEST(Integration, TelemetryCsvRoundTripsAgainstHistory) {
+  const std::string path = "/tmp/sgm_telemetry_roundtrip.csv";
+  sgm::pinn::ChipThermalProblem::Options copt;
+  copt.interior_points = 512;
+  copt.boundary_points = 128;
+  copt.reference_grid = 33;
+  sgm::pinn::ChipThermalProblem problem(copt);  // two validation metrics
+  Mlp net = make_net(2, 1, 6, 12, 2);
+  sgm::samplers::UniformSampler sampler(512);
+  auto topt = fast_trainer(40);
+  topt.validate_every = 10;
+  topt.telemetry_csv = path;
+  sgm::pinn::Trainer trainer(problem, net, sampler, topt);
+  const auto history = trainer.run();
+  ASSERT_EQ(history.records.size(), 4u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  std::string expected_header = "iteration,train_wall_s,mean_loss";
+  for (const auto& e : history.records.front().validation)
+    expected_header += ",err_" + e.name;
+  EXPECT_EQ(line, expected_header);
+
+  for (const auto& rec : history.records) {
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line))) << "missing row";
+    std::vector<double> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ','))
+      cells.push_back(std::strtod(cell.c_str(), nullptr));
+    ASSERT_EQ(cells.size(), 3 + rec.validation.size());
+    EXPECT_EQ(cells[0], static_cast<double>(rec.iteration));
+    EXPECT_EQ(cells[1], rec.train_wall_s);
+    EXPECT_EQ(cells[2], rec.mean_loss);
+    for (std::size_t m = 0; m < rec.validation.size(); ++m)
+      EXPECT_EQ(cells[3 + m], rec.validation[m].error)
+          << "metric " << rec.validation[m].name;
+  }
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, line)));  // no extra rows
+  std::remove(path.c_str());
 }
 
 }  // namespace

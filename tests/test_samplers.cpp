@@ -1,12 +1,17 @@
 // Tests for the baseline samplers: alias tables, epoch dealing, uniform,
-// MIS (loss-proportional) and RAR.
+// MIS (loss-proportional) and RAR — plus the cross-sampler batch contract
+// (exactly batch_size in-range rows) and the PGM-edge exclusion property.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <set>
 
+#include "core/pgm.hpp"
+#include "core/sgm_sampler.hpp"
 #include "samplers/mis.hpp"
 #include "samplers/rar.hpp"
 #include "samplers/sampler.hpp"
@@ -207,6 +212,150 @@ TEST(RarSampler, BatchesComeFromActiveSet) {
   // All batch elements must be among the 8 active points.
   std::set<std::uint32_t> uniq(batch.begin(), batch.end());
   EXPECT_LE(uniq.size(), 8u);
+}
+
+// ----------------------------------------------- cross-sampler contract ----
+
+// Every Sampler must hand the trainer exactly `batch_size` rows, each a
+// valid index into the point universe — for every batch size, including
+// ones larger than the universe (epoch dealers wrap, weighted samplers draw
+// with replacement).
+void check_batch_contract(sgm::samplers::Sampler& s, std::uint32_t n,
+                          sgm::util::Rng& rng) {
+  for (const std::size_t batch_size : {1u, 7u, 64u, n, n + 13u}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto batch = s.next_batch(batch_size, rng);
+      ASSERT_EQ(batch.size(), batch_size) << s.name();
+      for (const auto i : batch) ASSERT_LT(i, n) << s.name();
+    }
+  }
+}
+
+sgm::tensor::Matrix cloud2d(std::uint32_t n, std::uint64_t seed) {
+  sgm::util::Rng rng(seed);
+  sgm::tensor::Matrix pts(n, 2);
+  for (std::size_t i = 0; i < pts.size(); ++i) pts.data()[i] = rng.uniform();
+  return pts;
+}
+
+TEST(SamplerContract, EverySamplerReturnsExactlyBatchSizeInRangeRows) {
+  const std::uint32_t n = 200;
+  const sgm::tensor::Matrix pts = cloud2d(n, 21);
+  sgm::util::Rng rng(22);
+  auto eval = [](const std::vector<std::uint32_t>& rows) {
+    std::vector<double> loss(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) loss[i] = 1.0 + rows[i];
+    return loss;
+  };
+
+  sgm::samplers::UniformSampler uniform(n);
+  check_batch_contract(uniform, n, rng);
+
+  sgm::samplers::MisOptions mopt;
+  mopt.refresh_every = 1;
+  sgm::samplers::MisSampler mis(pts, mopt);
+  check_batch_contract(mis, n, rng);  // pre-refresh (uniform path)
+  mis.maybe_refresh(0, eval, rng);
+  check_batch_contract(mis, n, rng);  // post-refresh (alias path)
+
+  sgm::samplers::RarOptions ropt;
+  ropt.initial_points = 16;
+  ropt.refresh_every = 1;
+  sgm::samplers::RarSampler rar(n, ropt, rng);
+  rar.maybe_refresh(1, eval, rng);
+  check_batch_contract(rar, n, rng);
+
+  sgm::core::SgmOptions sopt;
+  sopt.pgm.knn.k = 6;
+  sopt.lrd.levels = 4;
+  sopt.tau_e = 1;
+  sopt.tau_g = 0;
+  sgm::core::SgmSampler sgm_sampler(pts, sopt);
+  check_batch_contract(sgm_sampler, n, rng);  // initial full-universe epoch
+  sgm_sampler.maybe_refresh(0, eval, rng);
+  check_batch_contract(sgm_sampler, n, rng);  // SGM epoch
+}
+
+// ------------------------------------------------- MIS edge exclusion ----
+
+TEST(MisSampler, ExclusionGraphBatchesNeverContainAPgmEdge) {
+  const std::uint32_t n = 400;
+  const sgm::tensor::Matrix pts = cloud2d(n, 31);
+  sgm::core::PgmOptions gopt;
+  gopt.knn.k = 6;
+  const sgm::graph::CsrGraph pgm = sgm::core::build_pgm(pts, nullptr, gopt);
+
+  sgm::samplers::MisOptions opt;
+  opt.refresh_every = 1;
+  opt.exclusion_graph = &pgm;
+  sgm::samplers::MisSampler s(pts, opt);
+  sgm::util::Rng rng(32);
+  auto eval = [](const std::vector<std::uint32_t>& rows) {
+    // Concentrated losses make kNN neighbors likely co-draws without the
+    // exclusion; the property must hold anyway.
+    std::vector<double> loss(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      loss[i] = rows[i] < 40 ? 100.0 : 0.01;
+    return loss;
+  };
+
+  auto check_independent = [&](const std::vector<std::uint32_t>& batch) {
+    std::set<std::uint32_t> in_batch(batch.begin(), batch.end());
+    ASSERT_EQ(in_batch.size(), batch.size()) << "duplicate row in batch";
+    for (const auto u : batch)
+      for (const auto v : pgm.neighbors(u))
+        ASSERT_FALSE(in_batch.count(v))
+            << "PGM edge (" << u << ", " << v << ") inside one batch";
+  };
+
+  for (int b = 0; b < 20; ++b) check_independent(s.next_batch(24, rng));
+  s.maybe_refresh(0, eval, rng);
+  for (int b = 0; b < 20; ++b) check_independent(s.next_batch(24, rng));
+}
+
+TEST(MisSampler, ExclusionGraphThrowsWhenNoIndependentBatchExists) {
+  // K4: any two vertices are adjacent, so no independent batch of 2 exists.
+  sgm::tensor::Matrix pts(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    pts(i, 0) = static_cast<double>(i);
+    pts(i, 1) = 0.0;
+  }
+  const sgm::graph::CsrGraph k4 = sgm::graph::CsrGraph::from_edges(
+      4, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}, {1, 3, 1.0},
+          {2, 3, 1.0}});
+  sgm::samplers::MisOptions opt;
+  opt.exclusion_graph = &k4;
+  sgm::samplers::MisSampler s(pts, opt);
+  sgm::util::Rng rng(33);
+  EXPECT_EQ(s.next_batch(1, rng).size(), 1u);
+  EXPECT_THROW(s.next_batch(2, rng), std::runtime_error);
+}
+
+// --------------------------------------------- RAR growth invariants ----
+
+TEST(RarSampler, ActiveSetGrowsMonotonicallyAndNeverExceedsUniverse) {
+  const std::uint32_t n = 300;
+  sgm::util::Rng rng(41);
+  sgm::samplers::RarOptions opt;
+  opt.initial_points = 32;
+  opt.added_per_refresh = 64;
+  opt.candidate_pool = 128;
+  opt.refresh_every = 1;
+  sgm::samplers::RarSampler s(n, opt, rng);
+  auto eval = [](const std::vector<std::uint32_t>& rows) {
+    return std::vector<double>(rows.size(), 1.0);
+  };
+  std::size_t previous = s.active_size();
+  EXPECT_LE(previous, static_cast<std::size_t>(n));
+  // Far more refreshes than needed to saturate: growth must be monotone and
+  // capped at the universe the whole way.
+  for (std::uint64_t it = 1; it <= 20; ++it) {
+    s.maybe_refresh(it, eval, rng);
+    EXPECT_GE(s.active_size(), previous);
+    EXPECT_LE(s.active_size(), static_cast<std::size_t>(n));
+    previous = s.active_size();
+  }
+  EXPECT_EQ(s.active_size(), static_cast<std::size_t>(n));  // saturated
 }
 
 }  // namespace

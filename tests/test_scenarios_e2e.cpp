@@ -1,0 +1,122 @@
+// Tier-2 end-to-end regression harness (ctest label `tier2`).
+//
+// Every scenario in the registry is trained for its smoke budget under
+// uniform and SGM sampling, asserting for each:
+//  (a) training reduces the loss (last recorded mean loss < first);
+//  (b) the best validation error beats the scenario's per-metric envelope
+//      under BOTH samplers;
+//  (c) the SGM run is byte-identical at num_threads = 1 and 4 — every
+//      recorded loss and validation error bitwise equal — extending PR 2's
+//      thread-count-invariance guarantee from the rebuild kernels to the
+//      whole training pipeline.
+//
+// The smoke budgets keep each scenario in the seconds range; the harness is
+// the one-invocation answer to "does the pipeline still work" after any
+// trainer/sampler/refresh-path change.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sgm_sampler.hpp"
+#include "history_compare.hpp"
+#include "pinn/scenario.hpp"
+#include "pinn/trainer.hpp"
+#include "samplers/uniform.hpp"
+
+namespace {
+
+using sgm::pinn::ScenarioConfig;
+using sgm::pinn::ScenarioRegistry;
+using sgm::pinn::ScenarioScale;
+using sgm::pinn::TrainHistory;
+
+TrainHistory run_uniform(const ScenarioConfig& cfg) {
+  sgm::util::Rng net_rng(cfg.net_seed);
+  sgm::nn::Mlp net(cfg.net, net_rng);
+  sgm::samplers::UniformSampler sampler(
+      static_cast<std::uint32_t>(cfg.problem->interior_points().rows()));
+  sgm::pinn::Trainer trainer(*cfg.problem, net, sampler, cfg.trainer);
+  return trainer.run();
+}
+
+TrainHistory run_sgm(const ScenarioConfig& cfg, std::size_t num_threads) {
+  sgm::util::Rng net_rng(cfg.net_seed);
+  sgm::nn::Mlp net(cfg.net, net_rng);
+  sgm::core::SgmOptions sopt = cfg.sgm;
+  sopt.num_threads = num_threads;
+  sgm::core::SgmSampler sampler(cfg.problem->interior_points(), sopt);
+  sgm::pinn::Trainer trainer(*cfg.problem, net, sampler, cfg.trainer);
+  return trainer.run();
+}
+
+void expect_loss_decreased(const TrainHistory& history,
+                           const std::string& label) {
+  ASSERT_GE(history.records.size(), 2u) << label;
+  EXPECT_LT(history.records.back().mean_loss,
+            history.records.front().mean_loss)
+      << label << ": training did not reduce the loss";
+}
+
+void expect_envelopes(const ScenarioConfig& cfg, const TrainHistory& history,
+                      const std::string& label) {
+  for (const auto& env : cfg.envelopes) {
+    const double best = history.best_error(env.metric);
+    EXPECT_LE(best, env.max_error)
+        << label << ": metric '" << env.metric << "' best " << best
+        << " misses the envelope " << env.max_error;
+  }
+}
+
+class ScenarioE2E : public testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioE2E, TrainsUnderUniformAndSgmWithThreadInvariance) {
+  const std::string name = GetParam();
+  const ScenarioConfig cfg =
+      ScenarioRegistry::instance().make(name, ScenarioScale::kSmoke);
+  ASSERT_EQ(cfg.problem->name(), name);
+  ASSERT_FALSE(cfg.envelopes.empty())
+      << name << ": scenarios must declare at least one envelope";
+
+  const TrainHistory uniform = run_uniform(cfg);
+  expect_loss_decreased(uniform, name + "/uniform");
+  expect_envelopes(cfg, uniform, name + "/uniform");
+
+  const TrainHistory sgm1 = run_sgm(cfg, /*num_threads=*/1);
+  EXPECT_GT(sgm1.sampler_loss_evaluations, 0u)
+      << name << ": SGM never refreshed";
+  expect_loss_decreased(sgm1, name + "/sgm");
+  expect_envelopes(cfg, sgm1, name + "/sgm");
+
+  const TrainHistory sgm4 = run_sgm(cfg, /*num_threads=*/4);
+  sgm::pinn::testutil::expect_identical_histories(
+      sgm1, sgm4, name + "/sgm threads 1 vs 4");
+}
+
+TEST(ScenarioRegistry, ExposesAllBuiltinScenarios) {
+  const auto names = ScenarioRegistry::instance().names();
+  ASSERT_GE(names.size(), 6u);
+  for (const char* expected :
+       {"annular_ring_param", "burgers1d", "chip_thermal", "helmholtz2d",
+        "ldc_zeroeq", "poisson2d"})
+    EXPECT_TRUE(ScenarioRegistry::instance().contains(expected)) << expected;
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndUnknownNames) {
+  auto& registry = ScenarioRegistry::instance();
+  EXPECT_THROW(registry.add("poisson2d", [](ScenarioScale) {
+    return ScenarioConfig{};
+  }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.make("no_such_scenario", ScenarioScale::kSmoke),
+               std::out_of_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistered, ScenarioE2E,
+    testing::ValuesIn(ScenarioRegistry::instance().names()),
+    [](const testing::TestParamInfo<std::string>& info) { return info.param; });
+
+}  // namespace

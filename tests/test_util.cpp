@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -180,6 +183,20 @@ TEST(CsvWriter, RejectsWrongWidth) {
 TEST(FormatDouble, RoundTripsCompactly) {
   EXPECT_EQ(sgm::util::format_double(0.5), "0.5");
   EXPECT_EQ(sgm::util::format_double(3.0), "3");
+}
+
+TEST(FormatDouble, RoundTripsEveryDoubleExactly) {
+  // The telemetry CSV contract: strtod(format_double(v)) == v bitwise.
+  // (%.9g, the old format, fails this for most non-dyadic values.)
+  sgm::util::Rng rng(7);
+  std::vector<double> values = {1.0 / 3.0, 0.1, 2.0 / 7.0, 1e-300, 1e300,
+                                -0.12345678901234567};
+  for (int i = 0; i < 1000; ++i)
+    values.push_back((rng.uniform() - 0.5) * std::pow(10.0, rng.uniform(-12, 12)));
+  for (const double v : values) {
+    const std::string s = sgm::util::format_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
 }
 
 TEST(Log, LevelGateWorks) {
