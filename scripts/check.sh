@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # One-command verify: configure + build + ctest.
-#   scripts/check.sh [--tier1|--tier2] [build-dir]   (extra CMake args via CMAKE_ARGS)
+#   scripts/check.sh [--tier1|--tier2|--bench] [build-dir]   (extra CMake args via CMAKE_ARGS)
 #
 # Default runs every ctest suite. --tier1 runs only the fast unit/property
 # suites (label tier1); --tier2 runs the end-to-end scenario regression
 # harness (label tier2), which itself trains every scenario's SGM arm at
 # num_threads=1 and =4 and asserts the histories are byte-identical.
+# --bench builds Release and runs the train-step benchmark with
+# SGM_BENCH_JSON=1, leaving BENCH_train_step.json in the build dir (the
+# perf-smoke CI job does the same; compare against
+# bench/baselines/BENCH_train_step_pre_pr4.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,13 +18,21 @@ TIER=""
 case "${1:-}" in
   --tier1) TIER="tier1"; shift ;;
   --tier2) TIER="tier2"; shift ;;
+  --bench) TIER="bench"; shift ;;
 esac
 BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-if [[ "$TIER" == "tier2" ]]; then
+if [[ "$TIER" == "bench" ]]; then
+  if [[ ! -x "$BUILD_DIR/bench_train_step" ]]; then
+    echo "bench_train_step not built (Google Benchmark missing?)" >&2
+    exit 1
+  fi
+  (cd "$BUILD_DIR" && SGM_BENCH_JSON=1 ./bench_train_step)
+  echo "Wrote $BUILD_DIR/BENCH_train_step.json"
+elif [[ "$TIER" == "tier2" ]]; then
   ctest --test-dir "$BUILD_DIR" -L tier2 --output-on-failure
 elif [[ "$TIER" == "tier1" ]]; then
   ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"

@@ -34,6 +34,21 @@ double Silu::eval(double x, int order) const {
   }
 }
 
+void Silu::eval_orders(double x, int max_order, double* out) const {
+  // One logistic() for the whole derivative ladder — this is the fused
+  // activation sweep the tape's kActivation node performs per element.
+  const double s = logistic(x);
+  const double s1 = s * (1.0 - s);
+  const double s2 = s1 * (1.0 - 2.0 * s);
+  out[0] = x * s;
+  if (max_order >= 1) out[1] = s + x * s1;
+  if (max_order >= 2) out[2] = 2.0 * s1 + x * s2;
+  if (max_order >= 3) {
+    const double s3 = s2 * (1.0 - 2.0 * s) - 2.0 * s1 * s1;
+    out[3] = 3.0 * s2 + x * s3;
+  }
+}
+
 double Tanh::eval(double x, int order) const {
   const double f = std::tanh(x);
   const double g = 1.0 - f * f;  // f'
@@ -45,6 +60,15 @@ double Tanh::eval(double x, int order) const {
     default:
       throw std::invalid_argument("Tanh: derivative order > 3 not supported");
   }
+}
+
+void Tanh::eval_orders(double x, int max_order, double* out) const {
+  const double f = std::tanh(x);
+  const double g = 1.0 - f * f;
+  out[0] = f;
+  if (max_order >= 1) out[1] = g;
+  if (max_order >= 2) out[2] = -2.0 * f * g;
+  if (max_order >= 3) out[3] = -2.0 * g * (1.0 - 3.0 * f * f);
 }
 
 double Sigmoid::eval(double x, int order) const {
@@ -61,6 +85,16 @@ double Sigmoid::eval(double x, int order) const {
   }
 }
 
+void Sigmoid::eval_orders(double x, int max_order, double* out) const {
+  const double s = logistic(x);
+  const double s1 = s * (1.0 - s);
+  out[0] = s;
+  if (max_order >= 1) out[1] = s1;
+  if (max_order >= 2) out[2] = s1 * (1.0 - 2.0 * s);
+  if (max_order >= 3)
+    out[3] = s1 * (1.0 - 2.0 * s) * (1.0 - 2.0 * s) - 2.0 * s1 * s1;
+}
+
 double Sine::eval(double x, int order) const {
   const double w = w0_;
   const double a = w * x;
@@ -72,6 +106,15 @@ double Sine::eval(double x, int order) const {
     default:
       throw std::invalid_argument("Sine: derivative order > 3 not supported");
   }
+}
+
+void Sine::eval_orders(double x, int max_order, double* out) const {
+  const double w = w0_;
+  const double sn = std::sin(w * x), cs = std::cos(w * x);
+  out[0] = sn;
+  if (max_order >= 1) out[1] = w * cs;
+  if (max_order >= 2) out[2] = -w * w * sn;
+  if (max_order >= 3) out[3] = -w * w * w * cs;
 }
 
 double Identity::eval(double x, int order) const {

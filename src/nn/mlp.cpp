@@ -64,88 +64,120 @@ Matrix Mlp::forward(const Matrix& x) const {
 
 Mlp::Binding Mlp::bind(Tape& tape) const {
   Binding binding;
-  binding.w.reserve(weights_.size());
-  binding.b.reserve(biases_.size());
-  for (const auto& w : weights_) binding.w.push_back(tape.parameter(w));
-  for (const auto& b : biases_) binding.b.push_back(tape.parameter(b));
+  bind(tape, &binding);
   return binding;
+}
+
+void Mlp::bind(Tape& tape, Binding* binding) const {
+  binding->w.clear();
+  binding->b.clear();
+  for (const auto& w : weights_) binding->w.push_back(tape.parameter(w));
+  for (const auto& b : biases_) binding->b.push_back(tape.parameter(b));
 }
 
 Mlp::TapeOutputs Mlp::forward_on_tape(Tape& tape, const Binding& binding,
                                       const Matrix& x, int n_deriv) const {
+  TapeOutputs out;
+  forward_on_tape(tape, binding, x, n_deriv, &out);
+  return out;
+}
+
+void Mlp::forward_on_tape(Tape& tape, const Binding& binding, const Matrix& x,
+                          int n_deriv, TapeOutputs* out) const {
   if (x.cols() != cfg_.input_dim)
     throw std::invalid_argument("Mlp::forward_on_tape: input width mismatch");
-  if (n_deriv < 0 || static_cast<std::size_t>(n_deriv) > cfg_.input_dim)
+  if (n_deriv < 0 || static_cast<std::size_t>(n_deriv) > cfg_.input_dim ||
+      n_deriv > kMaxDeriv)
     throw std::invalid_argument("Mlp::forward_on_tape: bad n_deriv");
 
   // Encoded inputs and their spatial derivatives are constants on the tape.
-  Matrix e;
-  std::vector<Matrix> de, d2e;
-  if (cfg_.encoding) {
-    cfg_.encoding->encode(x, n_deriv, e, de, d2e);
+  // The identity path writes them straight into the arena (no staging
+  // matrices), which keeps the steady-state step allocation-free.
+  VarId a = tensor::kNoVar;
+  std::array<VarId, kMaxDeriv> ak{}, hk{};
+  if (!cfg_.encoding) {
+    a = tape.constant(x);
+    for (int k = 0; k < n_deriv; ++k) {
+      ak[k] = tape.constant_uninit(x.rows(), x.cols());
+      Matrix& dv = tape.mutable_value(ak[k]);
+      dv.set_zero();
+      for (std::size_t r = 0; r < dv.rows(); ++r)
+        dv(r, static_cast<std::size_t>(k)) = 1.0;
+      hk[k] = tape.constant_uninit(x.rows(), x.cols());
+      tape.mutable_value(hk[k]).set_zero();
+    }
   } else {
-    IdentityEncoding id;
-    id.encode(x, n_deriv, e, de, d2e);
-  }
-
-  VarId a = tape.constant(std::move(e));
-  std::vector<VarId> ak(n_deriv), hk(n_deriv);
-  for (int k = 0; k < n_deriv; ++k) {
-    ak[k] = tape.constant(std::move(de[k]));
-    hk[k] = tape.constant(std::move(d2e[k]));
+    Matrix e;
+    std::vector<Matrix> de, d2e;
+    cfg_.encoding->encode(x, n_deriv, e, de, d2e);
+    a = tape.constant(e);
+    for (int k = 0; k < n_deriv; ++k) {
+      ak[k] = tape.constant(de[k]);
+      hk[k] = tape.constant(d2e[k]);
+    }
   }
 
   const Activation& act = *cfg_.activation;
   const std::size_t n_layers = weights_.size();
   for (std::size_t l = 0; l < n_layers; ++l) {
     const bool last = (l + 1 == n_layers);
-    VarId z = tensor::add_rowvec(tape, tensor::matmul(tape, a, binding.w[l]),
-                                 binding.b[l]);
-    std::vector<VarId> zk(n_deriv), hzk(n_deriv);
+    const VarId z = tensor::affine(tape, a, binding.w[l], binding.b[l]);
+    std::array<VarId, kMaxDeriv> zk{}, hzk{};
     for (int k = 0; k < n_deriv; ++k) {
       zk[k] = tensor::matmul(tape, ak[k], binding.w[l]);
       hzk[k] = tensor::matmul(tape, hk[k], binding.w[l]);
     }
     if (last) {
       a = z;
-      ak = std::move(zk);
-      hk = std::move(hzk);
+      ak = zk;
+      hk = hzk;
     } else {
-      a = tensor::apply(tape, z, act, 0);
-      if (n_deriv > 0) {
-        const VarId s1 = tensor::apply(tape, z, act, 1);
-        const VarId s2 = tensor::apply(tape, z, act, 2);
-        for (int k = 0; k < n_deriv; ++k) {
-          const VarId first = tensor::mul(tape, s1, zk[k]);
-          const VarId curv = tensor::mul(tape, s2, tensor::square(tape, zk[k]));
-          const VarId lin = tensor::mul(tape, s1, hzk[k]);
-          hk[k] = tensor::add(tape, curv, lin);
-          ak[k] = first;
-        }
+      // One fused sweep gives sigma and every derivative order the layer
+      // update and its backward need (3 when propagating derivatives).
+      const VarId s =
+          tensor::activation(tape, z, act, /*orders=*/n_deriv > 0 ? 3 : 1);
+      a = s;
+      for (int k = 0; k < n_deriv; ++k) {
+        hk[k] = tensor::act_curve(tape, s, zk[k], hzk[k]);
+        ak[k] = tensor::act_chain(tape, s, zk[k]);
       }
     }
   }
 
-  TapeOutputs out;
-  out.y = a;
-  out.dy = std::move(ak);
-  out.d2y = std::move(hk);
-  return out;
+  out->y = a;
+  out->dy.clear();
+  out->d2y.clear();
+  for (int k = 0; k < n_deriv; ++k) {
+    out->dy.push_back(ak[k]);
+    out->d2y.push_back(hk[k]);
+  }
 }
 
 std::vector<Matrix> Mlp::collect_grads(const Tape& tape,
                                        const Binding& binding) const {
   std::vector<Matrix> grads;
-  grads.reserve(weights_.size() + biases_.size());
+  collect_grads_into(tape, binding, &grads);
+  return grads;
+}
+
+void Mlp::collect_grads_into(const Tape& tape, const Binding& binding,
+                             std::vector<Matrix>* grads) const {
+  grads->resize(weights_.size() + biases_.size());
+  std::size_t idx = 0;
   auto take = [&](VarId id, const Matrix& shape_like) {
     const Matrix& g = tape.grad(id);
-    grads.push_back(g.empty() ? Matrix(shape_like.rows(), shape_like.cols())
-                              : g);
+    Matrix& dst = (*grads)[idx++];
+    if (g.empty()) {
+      dst.resize(shape_like.rows(), shape_like.cols());
+      dst.set_zero();
+    } else {
+      dst = g;  // copy-assign reuses the pooled buffer
+    }
   };
   for (std::size_t l = 0; l < weights_.size(); ++l)
     take(binding.w[l], weights_[l]);
-  for (std::size_t l = 0; l < biases_.size(); ++l) take(binding.b[l], biases_[l]);
-  return grads;
+  for (std::size_t l = 0; l < biases_.size(); ++l)
+    take(binding.b[l], biases_[l]);
 }
 
 std::vector<Matrix*> Mlp::parameters() {

@@ -13,6 +13,12 @@
 //   H'_k = sigma''(z) . Z_k^2 + sigma'(z) . Hz_k
 // Because these are ordinary tape ops, a single reverse sweep yields
 // d(loss)/d(theta) even when the loss involves u_xx, u_yy, etc.
+//
+// The recording uses the tape's fused ops: z is one affine node, the whole
+// sigma/sigma'/sigma''(/sigma''' for backward) ladder is ONE activation
+// sweep over z, and the A'_k / H'_k updates are single act_chain /
+// act_curve nodes — so a hidden layer with n_deriv=2 costs 1 affine +
+// 4 matmul + 1 activation + 4 fused elementwise nodes.
 
 #include <memory>
 #include <vector>
@@ -45,12 +51,20 @@ class Mlp {
   /// Inference-only forward pass (no tape, no derivatives).
   tensor::Matrix forward(const tensor::Matrix& x) const;
 
+  /// Derivative propagation is carried in fixed-size per-dimension arrays;
+  /// n_deriv beyond this throws (the PDE problems use at most 3 dims).
+  static constexpr int kMaxDeriv = 8;
+
   /// Parameter VarIds after binding this network's weights onto a tape.
   struct Binding {
     std::vector<tensor::VarId> w;
     std::vector<tensor::VarId> b;
   };
   Binding bind(tensor::Tape& tape) const;
+
+  /// Reuse-friendly overload: refills `binding` in place (vector capacity
+  /// is retained, so rebinding a cleared tape every step allocates nothing).
+  void bind(tensor::Tape& tape, Binding* binding) const;
 
   struct TapeOutputs {
     tensor::VarId y = tensor::kNoVar;       ///< n x output_dim
@@ -64,10 +78,20 @@ class Mlp {
   TapeOutputs forward_on_tape(tensor::Tape& tape, const Binding& binding,
                               const tensor::Matrix& x, int n_deriv) const;
 
+  /// Reuse-friendly overload writing into `out` (vectors reused in place).
+  void forward_on_tape(tensor::Tape& tape, const Binding& binding,
+                       const tensor::Matrix& x, int n_deriv,
+                       TapeOutputs* out) const;
+
   /// Copies gradients of the bound parameters out of the tape after
   /// backward(); order matches parameters(). Missing grads come out zero.
   std::vector<tensor::Matrix> collect_grads(const tensor::Tape& tape,
                                             const Binding& binding) const;
+
+  /// Reuse-friendly overload: resizes `grads` once and copy-assigns into
+  /// its pooled matrices thereafter (no steady-state allocations).
+  void collect_grads_into(const tensor::Tape& tape, const Binding& binding,
+                          std::vector<tensor::Matrix>* grads) const;
 
   /// Mutable views of all parameters, weights then biases, layer-major.
   std::vector<tensor::Matrix*> parameters();

@@ -53,21 +53,26 @@ void Adam::step(const std::vector<Matrix*>& params,
     }
   }
   ++iterations_;
-  const double t = static_cast<double>(iterations_);
-  const double bc1 = 1.0 - std::pow(beta1_, t);
-  const double bc2 = 1.0 - std::pow(beta2_, t);
+  // Running beta powers replace the per-step std::pow(beta, t) calls.
+  beta1_pow_ *= beta1_;
+  beta2_pow_ *= beta2_;
+  const double bc1 = 1.0 - beta1_pow_;
+  const double bc2 = 1.0 - beta2_pow_;
+  const double one_minus_b1 = 1.0 - beta1_;
+  const double one_minus_b2 = 1.0 - beta2_;
   for (std::size_t i = 0; i < params.size(); ++i) {
-    Matrix& m = m_[i];
-    Matrix& v = v_[i];
-    Matrix& p = *params[i];
-    const Matrix& g = grads[i];
-    for (std::size_t j = 0; j < p.size(); ++j) {
-      const double gj = g.data()[j];
-      m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * gj;
-      v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * gj * gj;
-      const double mhat = m.data()[j] / bc1;
-      const double vhat = v.data()[j] / bc2;
-      p.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    double* m = m_[i].data();
+    double* v = v_[i].data();
+    double* p = params[i]->data();
+    const double* g = grads[i].data();
+    const std::size_t n = params[i]->size();
+    for (std::size_t j = 0; j < n; ++j) {
+      const double gj = g[j];
+      m[j] = beta1_ * m[j] + one_minus_b1 * gj;
+      v[j] = beta2_ * v[j] + one_minus_b2 * gj * gj;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
 }

@@ -56,6 +56,7 @@ class Adam final : public Optimizer {
 
  private:
   double lr_, beta1_, beta2_, eps_;
+  double beta1_pow_ = 1.0, beta2_pow_ = 1.0;  ///< beta^t, updated per step
   std::vector<tensor::Matrix> m_, v_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sgm::pinn {
 
@@ -70,6 +71,16 @@ TrainHistory Trainer::run() {
     history.records.push_back(std::move(rec));
   };
 
+  // The tape and its companions are hoisted out of the loop: clear()
+  // retains every node's Matrix capacity, so steady-state steps re-record
+  // the graph into pooled buffers with zero heap allocations in the
+  // tape/forward/backward path.
+  tensor::Tape tape;
+  tape.set_num_threads(util::resolve_threads(opt_.num_threads));
+  nn::Mlp::Binding binding;
+  std::vector<tensor::Matrix> grads;
+  const std::vector<tensor::Matrix*> params = net_.parameters();
+
   for (std::uint64_t it = 0; it < opt_.max_iterations; ++it) {
     util::WallTimer step_timer;
 
@@ -77,15 +88,15 @@ TrainHistory Trainer::run() {
     const std::vector<std::uint32_t> rows =
         sampler_.next_batch(opt_.batch_size, rng);
 
-    tensor::Tape tape;
-    const nn::Mlp::Binding binding = net_.bind(tape);
+    tape.clear();
+    net_.bind(tape, &binding);
     const tensor::VarId loss =
         problem_.batch_loss(tape, net_, binding, rows, rng);
     tape.backward(loss);
-    const std::vector<tensor::Matrix> grads = net_.collect_grads(tape, binding);
+    net_.collect_grads_into(tape, binding, &grads);
 
     adam.set_learning_rate(schedule.lr(it));
-    adam.step(net_.parameters(), grads);
+    adam.step(params, grads);
 
     train_wall += step_timer.elapsed_s();
     loss_accum += tape.value(loss)(0, 0);

@@ -1,0 +1,41 @@
+#pragma once
+// Internal header: per-ISA GEMM kernel builds and their runtime dispatch.
+//
+// The micro-kernels in gemm_kernels.inl are compiled twice: once with the
+// project's baseline flags (namespace gemm_generic, in matrix.cpp) and once
+// with -mavx2 -mfma (namespace gemm_avx2, in gemm_avx2.cpp, x86-64 +
+// gcc/clang builds only). matrix.cpp selects one set of function pointers
+// at startup via __builtin_cpu_supports, so a single portable binary uses
+// FMA-width kernels wherever the CPU has them. The choice is made once per
+// process and never depends on thread count, preserving the determinism
+// contract.
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace sgm::tensor {
+
+namespace gemm_generic {
+void gemm_nn_range(const Matrix& a, const Matrix& b, Matrix& c,
+                   std::size_t r0, std::size_t r1, bool accumulate);
+void gemm_tn_range(const Matrix& a, const Matrix& b, Matrix& c,
+                   std::size_t r0, std::size_t r1, bool accumulate);
+void gemm_nt_range(const Matrix& a, const Matrix& b, Matrix& c,
+                   std::size_t r0, std::size_t r1, bool accumulate);
+}  // namespace gemm_generic
+
+namespace gemm_avx2 {
+void gemm_nn_range(const Matrix& a, const Matrix& b, Matrix& c,
+                   std::size_t r0, std::size_t r1, bool accumulate);
+void gemm_tn_range(const Matrix& a, const Matrix& b, Matrix& c,
+                   std::size_t r0, std::size_t r1, bool accumulate);
+void gemm_nt_range(const Matrix& a, const Matrix& b, Matrix& c,
+                   std::size_t r0, std::size_t r1, bool accumulate);
+}  // namespace gemm_avx2
+
+/// True when gemm_avx2.cpp was actually built with AVX2+FMA codegen (its
+/// stubs forward to gemm_generic otherwise).
+bool gemm_avx2_compiled();
+
+}  // namespace sgm::tensor

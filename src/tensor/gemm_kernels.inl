@@ -1,0 +1,210 @@
+// Register-blocked GEMM micro-kernels, included into one translation unit
+// per instruction-set build (see matrix.cpp for the generic build and
+// gemm_avx2.cpp for the -mavx2 -mfma build; runtime dispatch picks one).
+// The includer defines SGM_GEMM_NS to a unique namespace name.
+//
+// Determinism contract: every element c(i, j) accumulates its products in
+// strictly ascending reduction order in every path (full tiles and edges),
+// so results are bitwise independent of the tiling and of how callers split
+// the row range across threads. Within ONE process a single kernel build is
+// selected once, so thread count never changes which code runs.
+//
+// Tile shape: kMR x kNR accumulators held in registers while the reduction
+// dimension streams through. 4 x 8 doubles = 8 ymm registers under AVX2
+// (plus operands) — sized for the 16-register x86-64 vector file.
+
+namespace sgm::tensor {
+namespace SGM_GEMM_NS {
+
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 8;
+
+template <bool Accumulate>
+inline void store_tile(double* crow, const double* acc, std::size_t nr) {
+  for (std::size_t j = 0; j < nr; ++j) {
+    if constexpr (Accumulate)
+      crow[j] += acc[j];
+    else
+      crow[j] = acc[j];
+  }
+}
+
+// C rows [r0, r1) of C = A * B.
+template <bool Accumulate>
+void gemm_nn_impl(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+                  std::size_t r1) {
+  const std::size_t k = a.cols(), n = b.cols();
+  std::size_t i = r0;
+  for (; i + kMR <= r1; i += kMR) {
+    const double* ar[kMR];
+    for (std::size_t ii = 0; ii < kMR; ++ii) ar[ii] = a.row(i + ii);
+    std::size_t j = 0;
+    for (; j + kNR <= n; j += kNR) {
+      double acc[kMR][kNR] = {};
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* brow = b.row(p) + j;
+        for (std::size_t ii = 0; ii < kMR; ++ii) {
+          const double av = ar[ii][p];
+          for (std::size_t jj = 0; jj < kNR; ++jj)
+            acc[ii][jj] += av * brow[jj];
+        }
+      }
+      for (std::size_t ii = 0; ii < kMR; ++ii)
+        store_tile<Accumulate>(c.row(i + ii) + j, acc[ii], kNR);
+    }
+    if (j < n) {  // column edge: same p-ascending accumulation order
+      const std::size_t nr = n - j;
+      double acc[kMR][kNR] = {};
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* brow = b.row(p) + j;
+        for (std::size_t ii = 0; ii < kMR; ++ii) {
+          const double av = ar[ii][p];
+          for (std::size_t jj = 0; jj < nr; ++jj) acc[ii][jj] += av * brow[jj];
+        }
+      }
+      for (std::size_t ii = 0; ii < kMR; ++ii)
+        store_tile<Accumulate>(c.row(i + ii) + j, acc[ii], nr);
+    }
+  }
+  for (; i < r1; ++i) {  // row edge
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * b.row(p)[j];
+      if constexpr (Accumulate)
+        crow[j] += s;
+      else
+        crow[j] = s;
+    }
+  }
+}
+
+// C rows [r0, r1) of C = A^T * B: C(i, j) = sum_p A(p, i) * B(p, j); both
+// operands stream row-contiguously through the p loop.
+template <bool Accumulate>
+void gemm_tn_impl(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+                  std::size_t r1) {
+  const std::size_t k = a.rows(), n = b.cols();
+  std::size_t i = r0;
+  for (; i + kMR <= r1; i += kMR) {
+    std::size_t j = 0;
+    for (; j + kNR <= n; j += kNR) {
+      double acc[kMR][kNR] = {};
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* arow = a.row(p) + i;
+        const double* brow = b.row(p) + j;
+        for (std::size_t ii = 0; ii < kMR; ++ii) {
+          const double av = arow[ii];
+          for (std::size_t jj = 0; jj < kNR; ++jj)
+            acc[ii][jj] += av * brow[jj];
+        }
+      }
+      for (std::size_t ii = 0; ii < kMR; ++ii)
+        store_tile<Accumulate>(c.row(i + ii) + j, acc[ii], kNR);
+    }
+    if (j < n) {
+      const std::size_t nr = n - j;
+      double acc[kMR][kNR] = {};
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* arow = a.row(p) + i;
+        const double* brow = b.row(p) + j;
+        for (std::size_t ii = 0; ii < kMR; ++ii) {
+          const double av = arow[ii];
+          for (std::size_t jj = 0; jj < nr; ++jj) acc[ii][jj] += av * brow[jj];
+        }
+      }
+      for (std::size_t ii = 0; ii < kMR; ++ii)
+        store_tile<Accumulate>(c.row(i + ii) + j, acc[ii], nr);
+    }
+  }
+  for (; i < r1; ++i) {
+    double* crow = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += a.row(p)[i] * b.row(p)[j];
+      if constexpr (Accumulate)
+        crow[j] += s;
+      else
+        crow[j] = s;
+    }
+  }
+}
+
+// C rows [r0, r1) of C = A * B^T: kMR x kNR simultaneous dot products.
+template <bool Accumulate>
+void gemm_nt_impl(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+                  std::size_t r1) {
+  const std::size_t k = a.cols(), n = b.rows();
+  std::size_t i = r0;
+  for (; i + kMR <= r1; i += kMR) {
+    const double* ar[kMR];
+    for (std::size_t ii = 0; ii < kMR; ++ii) ar[ii] = a.row(i + ii);
+    std::size_t j = 0;
+    for (; j + kNR <= n; j += kNR) {
+      const double* br[kNR];
+      for (std::size_t jj = 0; jj < kNR; ++jj) br[jj] = b.row(j + jj);
+      double acc[kMR][kNR] = {};
+      for (std::size_t p = 0; p < k; ++p) {
+        for (std::size_t ii = 0; ii < kMR; ++ii) {
+          const double av = ar[ii][p];
+          for (std::size_t jj = 0; jj < kNR; ++jj)
+            acc[ii][jj] += av * br[jj][p];
+        }
+      }
+      for (std::size_t ii = 0; ii < kMR; ++ii)
+        store_tile<Accumulate>(c.row(i + ii) + j, acc[ii], kNR);
+    }
+    for (; j < n; ++j) {
+      const double* brow = b.row(j);
+      for (std::size_t ii = 0; ii < kMR; ++ii) {
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) s += ar[ii][p] * brow[p];
+        if constexpr (Accumulate)
+          c(i + ii, j) += s;
+        else
+          c(i + ii, j) = s;
+      }
+    }
+  }
+  for (; i < r1; ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b.row(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      if constexpr (Accumulate)
+        crow[j] += s;
+      else
+        crow[j] = s;
+    }
+  }
+}
+
+void gemm_nn_range(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+                   std::size_t r1, bool accumulate) {
+  if (accumulate)
+    gemm_nn_impl<true>(a, b, c, r0, r1);
+  else
+    gemm_nn_impl<false>(a, b, c, r0, r1);
+}
+
+void gemm_tn_range(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+                   std::size_t r1, bool accumulate) {
+  if (accumulate)
+    gemm_tn_impl<true>(a, b, c, r0, r1);
+  else
+    gemm_tn_impl<false>(a, b, c, r0, r1);
+}
+
+void gemm_nt_range(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+                   std::size_t r1, bool accumulate) {
+  if (accumulate)
+    gemm_nt_impl<true>(a, b, c, r0, r1);
+  else
+    gemm_nt_impl<false>(a, b, c, r0, r1);
+}
+
+}  // namespace SGM_GEMM_NS
+}  // namespace sgm::tensor

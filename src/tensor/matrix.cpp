@@ -1,7 +1,15 @@
 #include "tensor/matrix.hpp"
 
+#include "tensor/gemm_dispatch.hpp"
+
 #include <cmath>
 #include <stdexcept>
+
+// Baseline-ISA build of the micro-kernels; the AVX2+FMA build lives in
+// gemm_avx2.cpp and runtime dispatch picks between them.
+#define SGM_GEMM_NS gemm_generic
+#include "tensor/gemm_kernels.inl"
+#undef SGM_GEMM_NS
 
 namespace sgm::tensor {
 
@@ -24,6 +32,12 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
 
 void Matrix::fill(double v) {
   for (auto& x : data_) x = v;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
 }
 
 double Matrix::frobenius_norm() const {
@@ -66,61 +80,112 @@ void check_mul(const Matrix& a, const Matrix& b, std::size_t ak,
 }
 }  // namespace
 
+namespace {
+
+using GemmFn = void (*)(const Matrix&, const Matrix&, Matrix&, std::size_t,
+                        std::size_t, bool);
+
+struct GemmKernels {
+  GemmFn nn, tn, nt;
+};
+
+GemmKernels select_gemm_kernels() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (gemm_avx2_compiled() && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma"))
+    return {gemm_avx2::gemm_nn_range, gemm_avx2::gemm_tn_range,
+            gemm_avx2::gemm_nt_range};
+#endif
+  return {gemm_generic::gemm_nn_range, gemm_generic::gemm_tn_range,
+          gemm_generic::gemm_nt_range};
+}
+
+const GemmKernels& gemm_kernels() {
+  static const GemmKernels k = select_gemm_kernels();
+  return k;
+}
+
+}  // namespace
+
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+             std::size_t r1, bool accumulate) {
+  gemm_kernels().nn(a, b, c, r0, r1, accumulate);
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+             std::size_t r1, bool accumulate) {
+  gemm_kernels().tn(a, b, c, r0, r1, accumulate);
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+             std::size_t r1, bool accumulate) {
+  gemm_kernels().nt(a, b, c, r0, r1, accumulate);
+}
+
 void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
   check_mul(a, b, a.cols(), b.rows());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (c.rows() != m || c.cols() != n)
+  if (c.rows() != a.rows() || c.cols() != b.cols())
     throw std::invalid_argument("matmul_accumulate: output shape mismatch");
-  // i-k-j loop order: streams through B and C rows contiguously.
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (std::size_t p = 0; p < k; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      const double* brow = b.row(p);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_nn(a, b, c, 0, a.rows(), /*accumulate=*/true);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
+  check_mul(a, b, a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
-  matmul_accumulate(a, b, c);
+  gemm_nn(a, b, c, 0, a.rows(), /*accumulate=*/false);
   return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   check_mul(a, b, a.rows(), b.rows());
-  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
-  Matrix c(m, n);
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* arow = a.row(p);
-    const double* brow = b.row(p);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = c.row(i);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Matrix c(a.cols(), b.cols());
+  gemm_tn(a, b, c, 0, a.cols(), /*accumulate=*/false);
   return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   check_mul(a, b, a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  gemm_nt(a, b, c, 0, a.rows(), /*accumulate=*/false);
+  return c;
+}
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  check_mul(a, b, a.cols(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += a(i, p) * b(p, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+Matrix matmul_tn_reference(const Matrix& a, const Matrix& b) {
+  check_mul(a, b, a.rows(), b.rows());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += a(p, i) * b(p, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+Matrix matmul_nt_reference(const Matrix& a, const Matrix& b) {
+  check_mul(a, b, a.cols(), b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
+  for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < n; ++j) {
-      const double* brow = b.row(j);
       double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      crow[j] = s;
+      for (std::size_t p = 0; p < k; ++p) s += a(i, p) * b(j, p);
+      c(i, j) = s;
     }
-  }
   return c;
 }
 
@@ -129,6 +194,14 @@ Matrix transpose(const Matrix& a) {
   for (std::size_t i = 0; i < a.rows(); ++i)
     for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
   return t;
+}
+
+void transpose_into(const Matrix& a, Matrix& out) {
+  out.resize(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = arow[j];
+  }
 }
 
 Matrix operator+(const Matrix& a, const Matrix& b) {

@@ -51,6 +51,13 @@ class Matrix {
   void fill(double v);
   void set_zero() { fill(0.0); }
 
+  /// Reshape in place to rows x cols. Existing heap capacity is retained
+  /// (shrinking or re-growing within capacity never touches the allocator),
+  /// which is what lets the tape's pooled buffers reach zero steady-state
+  /// allocations. Element contents are unspecified after a resize; callers
+  /// overwrite every entry.
+  void resize(std::size_t rows, std::size_t cols);
+
   /// Frobenius norm.
   double frobenius_norm() const;
 
@@ -88,7 +95,48 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b);
 /// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
 Matrix matmul_nt(const Matrix& a, const Matrix& b);
 
+// ---------------------------------------------------------------------------
+// Register-blocked GEMM kernels.
+//
+// All three products share one micro-kernel shape: an MR x NR accumulator
+// tile held in registers while the reduction dimension streams through it.
+// Every element c(i, j) accumulates its products in strictly ascending
+// reduction order in every code path (full tiles and edges alike), so the
+// result is bitwise independent of the tiling AND of how callers split the
+// row range across threads — the property the trainer's determinism
+// guarantee (byte-identical histories at any num_threads) rests on.
+//
+// The row-range entry points compute only output rows [r0, r1); rows outside
+// the range are untouched, which is what the tape's threaded kernels call
+// with disjoint chunks. `accumulate` selects C(+)= vs C=.
+// ---------------------------------------------------------------------------
+
+/// C rows [r0, r1) = (or +=) A rows [r0, r1) * B. No shape checks (callers
+/// validated); r1 <= a.rows(), C pre-shaped (a.rows() x b.cols()).
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+             std::size_t r1, bool accumulate);
+
+/// C rows [r0, r1) of C = A^T * B (rows of C are columns of A); C pre-shaped
+/// (a.cols() x b.cols()).
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+             std::size_t r1, bool accumulate);
+
+/// C rows [r0, r1) of C = A * B^T; C pre-shaped (a.rows() x b.rows()).
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+             std::size_t r1, bool accumulate);
+
+/// Naive triple-loop implementations kept as the oracle for the property
+/// tests pitting the blocked kernels against them. Not used on hot paths.
+Matrix matmul_reference(const Matrix& a, const Matrix& b);
+Matrix matmul_tn_reference(const Matrix& a, const Matrix& b);
+Matrix matmul_nt_reference(const Matrix& a, const Matrix& b);
+
 Matrix transpose(const Matrix& a);
+
+/// Transpose into an existing matrix (resized in place, capacity retained).
+/// Used by the tape's backward kernels to turn the NT product shape into
+/// the faster NN kernel via a pooled scratch.
+void transpose_into(const Matrix& a, Matrix& out);
 
 Matrix operator+(const Matrix& a, const Matrix& b);
 Matrix operator-(const Matrix& a, const Matrix& b);

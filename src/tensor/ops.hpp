@@ -1,8 +1,9 @@
 #pragma once
-// Differentiable ops recorded on the Tape. Each function computes the primal
-// value eagerly and registers a closure implementing its vector-Jacobian
-// product. Shapes are validated at record time, so shape bugs surface at the
-// call site rather than inside backward().
+// Differentiable ops recorded on the Tape. Each function validates shapes
+// at record time (so shape bugs surface at the call site rather than inside
+// backward()), emits an enum-dispatched node and computes the primal value
+// into the node's pooled buffer. The matching vector-Jacobian products live
+// in detail::backward_node(), dispatched by Tape::backward().
 
 #include "tensor/matrix.hpp"
 #include "tensor/tape.hpp"
@@ -10,13 +11,22 @@
 namespace sgm::tensor {
 
 /// Elementwise scalar function with analytic derivatives up to order 3.
-/// `eval(x, k)` returns d^k f / dx^k at x. Implementations must be
-/// long-lived (the tape stores raw pointers to them); activations in sgm::nn
-/// are stateless singletons, which satisfies this.
+/// Implementations must be long-lived (the tape stores raw pointers to
+/// them); activations in sgm::nn are stateless singletons, which satisfies
+/// this.
 class ElementwiseFunction {
  public:
   virtual ~ElementwiseFunction() = default;
+
+  /// d^order f / dx^order at x.
   virtual double eval(double x, int order) const = 0;
+
+  /// Fills out[k] = d^k f / dx^k for k = 0..max_order in one call, letting
+  /// implementations share subexpressions (e.g. a single logistic() for the
+  /// whole SiLU derivative ladder). The default just loops eval().
+  virtual void eval_orders(double x, int max_order, double* out) const {
+    for (int k = 0; k <= max_order; ++k) out[k] = eval(x, k);
+  }
 };
 
 /// c = a + b (same shape).
@@ -40,9 +50,29 @@ VarId matmul(Tape& t, VarId a, VarId b);
 /// c = X + 1⊗b : adds row vector b (1 x d) to every row of X (n x d).
 VarId add_rowvec(Tape& t, VarId x, VarId b);
 
+/// Fused c = A * W + 1⊗b — one node and one pass over C instead of the
+/// matmul + add_rowvec pair. W is (k x d), b is (1 x d).
+VarId affine(Tape& t, VarId a, VarId w, VarId b);
+
 /// c = f^(order)(a) applied elementwise. Backward uses f^(order+1).
 /// `f` must outlive the tape.
 VarId apply(Tape& t, VarId a, const ElementwiseFunction& f, int order = 0);
+
+/// Fused activation sweep: value = f(z), with f', ..., f^(orders) recorded
+/// as auxiliary buffers in the SAME single pass over z (one eval_orders call
+/// per element). orders must be 1..3: backward of the value needs f'; the
+/// act_chain / act_curve consumers additionally need f''/f''' (orders >= 2
+/// and 3 respectively). Returns the value node.
+VarId activation(Tape& t, VarId z, const ElementwiseFunction& f, int orders);
+
+/// Fused first-derivative propagation: c = f'(z) ⊙ zk, where `act` is the
+/// activation(t, z, f, orders>=2) node (f' and the f'' its backward needs
+/// were precomputed by the sweep).
+VarId act_chain(Tape& t, VarId act, VarId zk);
+
+/// Fused Hessian-diagonal propagation: c = f''(z) ⊙ zk² + f'(z) ⊙ hzk,
+/// with `act` an activation(t, z, f, orders=3) node.
+VarId act_curve(Tape& t, VarId act, VarId zk, VarId hzk);
 
 /// c = a ⊙ a.
 VarId square(Tape& t, VarId a);
@@ -62,5 +92,12 @@ VarId weighted_mean(Tape& t, VarId a, const Matrix& weights);
 
 /// Horizontal concatenation of (n x c1) and (n x c2) into (n x c1+c2).
 VarId hcat(Tape& t, VarId a, VarId b);
+
+namespace detail {
+/// Op-enum dispatch of the vector-Jacobian products; called by
+/// Tape::backward() for every grad-bearing non-leaf node, in reverse
+/// topological order. Accumulates into the inputs' grad_buf()s.
+void backward_node(Tape& t, VarId id);
+}  // namespace detail
 
 }  // namespace sgm::tensor

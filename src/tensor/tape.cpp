@@ -2,64 +2,94 @@
 
 #include <stdexcept>
 
+#include "tensor/ops.hpp"
+
 namespace sgm::tensor {
 
-VarId Tape::constant(Matrix value) {
-  Node n;
-  n.value = std::move(value);
+VarId Tape::alloc_node() {
+  if (size_ == pool_.size()) pool_.emplace_back();
+  TapeNode& n = pool_[size_];
+  n.fn = nullptr;
+  n.scalar = 0.0;
+  n.index = 0;
+  n.order = 0;
+  n.in = {kNoVar, kNoVar, kNoVar};
+  n.ref = kNoVar;
+  n.op = Op::kLeaf;
   n.requires_grad = false;
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  n.grad_set = false;
+  return static_cast<VarId>(size_++);
 }
 
-VarId Tape::parameter(Matrix value) {
-  Node n;
-  n.value = std::move(value);
-  n.requires_grad = true;
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+VarId Tape::constant(const Matrix& value) {
+  const VarId id = alloc_node();
+  pool_[id].value = value;  // copy-assign reuses the pooled buffer
+  return id;
 }
 
-VarId Tape::emit(Matrix value, std::vector<VarId> inputs,
-                 BackwardFn backward) {
-  Node n;
-  n.value = std::move(value);
-  n.inputs = std::move(inputs);
-  for (VarId in : n.inputs) {
-    if (in < 0 || in >= static_cast<VarId>(nodes_.size()))
-      throw std::out_of_range("Tape::emit: bad input id");
-    if (nodes_[in].requires_grad) n.requires_grad = true;
+VarId Tape::parameter(const Matrix& value) {
+  const VarId id = alloc_node();
+  pool_[id].value = value;
+  pool_[id].requires_grad = true;
+  return id;
+}
+
+VarId Tape::constant_uninit(std::size_t rows, std::size_t cols) {
+  const VarId id = alloc_node();
+  pool_[id].value.resize(rows, cols);
+  return id;
+}
+
+VarId Tape::emit(Op op, VarId in0, VarId in1, VarId in2, VarId ref) {
+  const VarId id = alloc_node();
+  TapeNode& n = pool_[id];
+  n.op = op;
+  n.in = {in0, in1, in2};
+  n.ref = ref;
+  for (VarId in : n.in) {
+    if (in == kNoVar) continue;
+    if (in < 0 || in >= id) throw std::out_of_range("Tape::emit: bad input id");
+    if (pool_[in].requires_grad) n.requires_grad = true;
   }
-  if (n.requires_grad) n.backward = std::move(backward);
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  if (ref != kNoVar && (ref < 0 || ref >= id))
+    throw std::out_of_range("Tape::emit: bad ref id");
+  return id;
 }
 
-void Tape::accumulate_grad(VarId id, const Matrix& delta) {
-  Node& n = nodes_[id];
-  if (!n.requires_grad) return;
-  if (n.grad.empty()) {
-    n.grad = delta;
-  } else {
-    n.grad.axpy(1.0, delta);
+const Matrix& Tape::grad(VarId id) const {
+  static const Matrix kEmpty;
+  const TapeNode& n = pool_[id];
+  return n.grad_set ? n.grad : kEmpty;
+}
+
+Matrix& Tape::grad_buf(VarId id) {
+  TapeNode& n = pool_[id];
+  if (!n.grad_set) {
+    n.grad.resize(n.value.rows(), n.value.cols());
+    n.grad.set_zero();
+    n.grad_set = true;
   }
+  return n.grad;
 }
 
 void Tape::backward(VarId root) {
-  if (root < 0 || root >= static_cast<VarId>(nodes_.size()))
+  if (root < 0 || static_cast<std::size_t>(root) >= size_)
     throw std::out_of_range("Tape::backward: bad root id");
-  const Matrix& rv = nodes_[root].value;
+  const Matrix& rv = pool_[root].value;
   if (rv.rows() != 1 || rv.cols() != 1)
     throw std::invalid_argument("Tape::backward: root must be a 1x1 scalar");
-  for (auto& n : nodes_) n.grad = Matrix();
-  nodes_[root].grad = Matrix(1, 1, 1.0);
+  for (std::size_t i = 0; i < size_; ++i) pool_[i].grad_set = false;
+  {
+    TapeNode& r = pool_[root];
+    r.grad.resize(1, 1);
+    r.grad(0, 0) = 1.0;
+    r.grad_set = true;
+  }
   for (VarId id = root; id >= 0; --id) {
-    Node& n = nodes_[id];
-    if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
-    n.backward(*this, id);
+    TapeNode& n = pool_[id];
+    if (!n.requires_grad || !n.grad_set || n.op == Op::kLeaf) continue;
+    detail::backward_node(*this, id);
   }
 }
-
-void Tape::clear() { nodes_.clear(); }
 
 }  // namespace sgm::tensor

@@ -193,15 +193,23 @@ TEST(Mlp, InputHessianDiagonalMatchesFiniteDifference) {
   }
 }
 
-TEST(Mlp, SecondOrderLossParamGradcheck) {
+// Parameterized over the tape's worker-thread count: the analytic gradient
+// must match finite differences bit-for-bit regardless of threading (the
+// threaded kernels are write-disjoint with fixed per-element accumulation
+// order), so the same FD tolerance must hold at 1 and 4 threads.
+class MlpGradcheck : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MlpGradcheck, SecondOrderLossParamGradcheck) {
   // The crux: d/dtheta of a loss built from u_xx. Verified against central
   // differences on a few randomly chosen parameters.
+  const std::size_t num_threads = GetParam();
   sgm::util::Rng rng(5);
   Mlp net(small_config(2, 1), rng);
   Matrix x{{0.2, 0.4}, {0.6, -0.3}, {-0.5, 0.9}};
 
   auto loss_value = [&](Mlp& m) {
     Tape t;
+    t.set_num_threads(num_threads);
     auto b = m.bind(t);
     auto out = m.forward_on_tape(t, b, x, 2);
     VarId lap = ops::add(t, out.d2y[0], out.d2y[1]);
@@ -210,6 +218,7 @@ TEST(Mlp, SecondOrderLossParamGradcheck) {
   };
 
   Tape tape;
+  tape.set_num_threads(num_threads);
   auto binding = net.bind(tape);
   auto out = net.forward_on_tape(tape, binding, x, 2);
   VarId lap = ops::add(tape, out.d2y[0], out.d2y[1]);
@@ -238,6 +247,11 @@ TEST(Mlp, SecondOrderLossParamGradcheck) {
     }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Threads, MlpGradcheck, ::testing::Values(1u, 4u),
+                         [](const auto& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
 
 TEST(Mlp, FourierEncodedDerivativesStillCorrect) {
   sgm::util::Rng rng(6);

@@ -6,9 +6,9 @@
 //  (b) the best validation error beats the scenario's per-metric envelope
 //      under BOTH samplers;
 //  (c) the SGM run is byte-identical at num_threads = 1 and 4 — every
-//      recorded loss and validation error bitwise equal — extending PR 2's
-//      thread-count-invariance guarantee from the rebuild kernels to the
-//      whole training pipeline.
+//      recorded loss and validation error bitwise equal — with the thread
+//      count applied to BOTH the sampler rebuilds (PR 2) and the training
+//      step's threaded forward/backward tape kernels (PR 4).
 //
 // The smoke budgets keep each scenario in the seconds range; the harness is
 // the one-invocation answer to "does the pipeline still work" after any
@@ -47,8 +47,12 @@ TrainHistory run_sgm(const ScenarioConfig& cfg, std::size_t num_threads) {
   sgm::nn::Mlp net(cfg.net, net_rng);
   sgm::core::SgmOptions sopt = cfg.sgm;
   sopt.num_threads = num_threads;
+  // Thread both the sampler rebuilds AND the training-step forward/backward
+  // kernels: the byte-identity assertion below covers the whole pipeline.
+  sgm::pinn::TrainerOptions topt = cfg.trainer;
+  topt.num_threads = num_threads;
   sgm::core::SgmSampler sampler(cfg.problem->interior_points(), sopt);
-  sgm::pinn::Trainer trainer(*cfg.problem, net, sampler, cfg.trainer);
+  sgm::pinn::Trainer trainer(*cfg.problem, net, sampler, topt);
   return trainer.run();
 }
 
