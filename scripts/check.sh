@@ -3,12 +3,15 @@
 #   scripts/check.sh [--tier1|--tier2|--bench] [build-dir]   (extra CMake args via CMAKE_ARGS)
 #
 # Default runs every ctest suite. --tier1 runs only the fast unit/property
-# suites (label tier1); --tier2 runs the end-to-end scenario regression
-# harness (label tier2), which itself trains every scenario's SGM arm at
-# num_threads=1 and =4 and asserts the histories are byte-identical.
-# --bench builds Release and runs the train-step benchmark with
-# SGM_BENCH_JSON=1, leaving BENCH_train_step.json in the build dir (the
-# perf-smoke CI job does the same; compare against
+# suites (label tier1), which include the incremental-refresh equivalence
+# harness (test_incremental_refresh); --tier2 runs the end-to-end scenario
+# regression harness (label tier2), which trains every scenario's SGM arm
+# AND its incremental-refresh configuration at num_threads=1 and =4 and
+# asserts the histories are byte-identical.
+# --bench builds Release and runs the train-step benchmark plus the
+# refresh-path benchmark with SGM_BENCH_JSON=1, leaving
+# BENCH_train_step.json and BENCH_incremental_refresh.json in the build dir
+# (the perf-smoke CI job does the same; compare against
 # bench/baselines/BENCH_train_step_pre_pr4.json).
 set -euo pipefail
 
@@ -32,6 +35,8 @@ if [[ "$TIER" == "bench" ]]; then
   fi
   (cd "$BUILD_DIR" && SGM_BENCH_JSON=1 ./bench_train_step)
   echo "Wrote $BUILD_DIR/BENCH_train_step.json"
+  (cd "$BUILD_DIR" && SGM_BENCH_JSON=1 ./bench_incremental_refresh)
+  echo "Wrote $BUILD_DIR/BENCH_incremental_refresh.json"
 elif [[ "$TIER" == "tier2" ]]; then
   ctest --test-dir "$BUILD_DIR" -L tier2 --output-on-failure
 elif [[ "$TIER" == "tier1" ]]; then

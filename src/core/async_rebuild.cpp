@@ -4,21 +4,28 @@ namespace sgm::core {
 
 AsyncRebuilder::~AsyncRebuilder() { wait(); }
 
-void AsyncRebuilder::launch(tensor::Matrix points,
-                            std::unique_ptr<tensor::Matrix> outputs,
-                            PgmOptions pgm, graph::LrdOptions lrd) {
+void AsyncRebuilder::launch_job(std::function<graph::Clustering()> job) {
   if (running_.load()) return;
   wait();  // join any finished-but-unjoined worker
   running_.store(true);
   has_result_.store(false);
-  worker_ = std::thread([this, points = std::move(points),
-                         outputs = std::move(outputs), pgm = std::move(pgm),
-                         lrd = std::move(lrd)]() {
-    graph::CsrGraph g = build_pgm(points, outputs.get(), pgm);
-    graph::Clustering c = graph::lrd_decompose(g, lrd);
-    result_ = std::move(c);
+  worker_ = std::thread([this, job = std::move(job)]() {
+    result_ = job();
     has_result_.store(true);
     running_.store(false);
+  });
+}
+
+void AsyncRebuilder::launch(tensor::Matrix points,
+                            std::unique_ptr<tensor::Matrix> outputs,
+                            PgmOptions pgm, graph::LrdOptions lrd) {
+  // std::function requires a copyable callable — park the outputs snapshot
+  // in a shared_ptr.
+  std::shared_ptr<tensor::Matrix> out(outputs.release());
+  launch_job([points = std::move(points), out = std::move(out),
+              pgm = std::move(pgm), lrd = std::move(lrd)]() {
+    graph::CsrGraph g = build_pgm(points, out.get(), pgm);
+    return graph::lrd_decompose(g, lrd);
   });
 }
 

@@ -6,6 +6,7 @@
 // keeps training on the previous clustering until a result lands.
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -29,6 +30,14 @@ class AsyncRebuilder {
   /// already running.
   void launch(tensor::Matrix points, std::unique_ptr<tensor::Matrix> outputs,
               PgmOptions pgm, graph::LrdOptions lrd);
+
+  /// Runs an arbitrary clustering job on the worker thread — the incremental
+  /// refresh path hands its engine (plus an outputs snapshot) in here. The
+  /// caller must not touch state the job reads/writes until the job has been
+  /// reaped via try_take()/wait(); the sampler guarantees this by waiting
+  /// before every launch and before every score refresh (the PR 2
+  /// determinism barrier). No-op when a job is already running.
+  void launch_job(std::function<graph::Clustering()> job);
 
   /// True while the worker is still computing.
   bool running() const { return running_.load(); }

@@ -1,0 +1,132 @@
+#include "core/dirty_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sgm::core {
+
+using tensor::Matrix;
+
+DirtyTracker::DirtyTracker(std::size_t num_points, std::size_t width,
+                           double relative_tolerance)
+    : n_(num_points), w_(width), tol_(relative_tolerance) {
+  if (width == 0)
+    throw std::invalid_argument("DirtyTracker: width must be >= 1");
+  if (relative_tolerance < 0.0)
+    throw std::invalid_argument("DirtyTracker: tolerance must be >= 0");
+  scale_.assign(w_, 1.0);
+  ref_.assign(n_ * w_, 0.0);
+  last_.assign(n_ * w_, 0.0);
+  has_ref_.assign(n_, 0);
+  observed_.assign(n_, 0);
+  dirty_.assign(n_, 0);
+}
+
+void DirtyTracker::set_scales(std::vector<double> scales) {
+  if (scales.size() != w_)
+    throw std::invalid_argument("DirtyTracker::set_scales: width mismatch");
+  for (double s : scales)
+    if (!(s > 0.0))
+      throw std::invalid_argument("DirtyTracker::set_scales: scales must be > 0");
+  scale_ = std::move(scales);
+}
+
+bool DirtyTracker::row_dirty(const double* ref, const double* cand) const {
+  for (std::size_t c = 0; c < w_; ++c) {
+    const double scale =
+        relative_to_reference_
+            ? std::max(std::fabs(ref[c]), reference_floor_)
+            : scale_[c];
+    if (std::fabs(cand[c] - ref[c]) > tol_ * scale) return true;
+  }
+  return false;
+}
+
+void DirtyTracker::rebase_all(const Matrix& values) {
+  if (values.rows() != n_ || values.cols() != w_)
+    throw std::invalid_argument("DirtyTracker::rebase_all: shape mismatch");
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t c = 0; c < w_; ++c) ref_[i * w_ + c] = values(i, c);
+  has_ref_.assign(n_, 1);
+  observed_.assign(n_, 0);
+  dirty_.assign(n_, 0);
+  dirty_count_ = 0;
+  observed_count_ = 0;
+}
+
+void DirtyTracker::rebase_rows(const std::vector<std::uint32_t>& ids,
+                               const Matrix& rows) {
+  if (rows.rows() != ids.size() || (rows.rows() > 0 && rows.cols() != w_))
+    throw std::invalid_argument("DirtyTracker::rebase_rows: shape mismatch");
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const std::uint32_t i = ids[t];
+    if (i >= n_)
+      throw std::out_of_range("DirtyTracker::rebase_rows: id out of range");
+    for (std::size_t c = 0; c < w_; ++c) ref_[i * w_ + c] = rows(t, c);
+    has_ref_[i] = 1;
+    if (dirty_[i]) {
+      dirty_[i] = 0;
+      --dirty_count_;
+    }
+  }
+}
+
+std::vector<std::uint32_t> DirtyTracker::diff(const Matrix& values) const {
+  if (values.rows() != n_ || values.cols() != w_)
+    throw std::invalid_argument("DirtyTracker::diff: shape mismatch");
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!has_ref_[i] || row_dirty(&ref_[i * w_], values.row(i)))
+      out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+std::size_t DirtyTracker::observe(const std::vector<std::uint32_t>& ids,
+                                  const std::vector<double>& values) {
+  if (w_ != 1)
+    throw std::logic_error("DirtyTracker::observe: stream interface is width-1");
+  if (values.size() != ids.size())
+    throw std::invalid_argument("DirtyTracker::observe: size mismatch");
+  std::size_t newly_dirty = 0;
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const std::uint32_t i = ids[t];
+    if (i >= n_)
+      throw std::out_of_range("DirtyTracker::observe: id out of range");
+    last_[i] = values[t];
+    if (!observed_[i]) {
+      observed_[i] = 1;
+      ++observed_count_;
+    }
+    if (!has_ref_[i]) {
+      ref_[i] = values[t];
+      has_ref_[i] = 1;
+      continue;
+    }
+    if (!dirty_[i] && row_dirty(&ref_[i], &values[t])) {
+      dirty_[i] = 1;
+      ++dirty_count_;
+      ++newly_dirty;
+    }
+  }
+  return newly_dirty;
+}
+
+void DirtyTracker::settle() {
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!observed_[i]) continue;
+    for (std::size_t c = 0; c < w_; ++c) ref_[i * w_ + c] = last_[i * w_ + c];
+    has_ref_[i] = 1;
+  }
+  dirty_.assign(n_, 0);
+  dirty_count_ = 0;
+}
+
+double DirtyTracker::dirty_fraction() const {
+  if (observed_count_ == 0) return 0.0;
+  return static_cast<double>(dirty_count_) /
+         static_cast<double>(observed_count_);
+}
+
+}  // namespace sgm::core

@@ -1,0 +1,103 @@
+#pragma once
+// Tracks which sample points' per-point signal — residual losses, model
+// outputs, or whole metric rows — drifted beyond a threshold since the last
+// S1/S2 rebuild. The incremental refresh engine uses the snapshot interface
+// (rebase/diff over full feature matrices) to decide which points to
+// re-insert into the kNN graph; the sampler uses the sampled-stream
+// interface (observe over representative losses) to estimate the population
+// dirty fraction that drives the RefreshScheduler's cadence.
+//
+// A point is dirty when ANY of its `width` features moved more than
+// relative_tolerance * scale(feature) away from the reference value captured
+// at the last rebase. A tolerance of 0 marks any bitwise change dirty —
+// that is the setting under which the incremental refresh path is exactly
+// equivalent to a full rebuild (see docs/TESTING.md).
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace sgm::core {
+
+class DirtyTracker {
+ public:
+  DirtyTracker() = default;
+  DirtyTracker(std::size_t num_points, std::size_t width,
+               double relative_tolerance);
+
+  std::size_t num_points() const { return n_; }
+  std::size_t width() const { return w_; }
+  double tolerance() const { return tol_; }
+
+  /// Per-feature scales the tolerance is relative to (default all 1).
+  void set_scales(std::vector<double> scales);
+  const std::vector<double>& scales() const { return scale_; }
+
+  /// When enabled, the drift threshold for each value is
+  /// tolerance * max(|reference|, floor) instead of tolerance * scale —
+  /// i.e. genuinely *relative* drift. This is what the sampler's
+  /// representative-loss cadence signal uses: losses span decades across
+  /// problems and training phases, so an absolute threshold would either
+  /// never fire (tiny late-training residuals) or always fire (large early
+  /// ones). `floor` guards near-zero references.
+  void set_relative_to_reference(double floor = 1e-12) {
+    relative_to_reference_ = true;
+    reference_floor_ = floor;
+  }
+
+  // --- snapshot interface (refresh engine) -------------------------------
+
+  /// Captures `values` (num_points x width) as the reference for every
+  /// point and clears all dirty/observed marks.
+  void rebase_all(const tensor::Matrix& values);
+
+  /// Re-captures the reference rows for `ids` only (rows aligned with ids)
+  /// and clears their marks — called after an incremental update applied
+  /// exactly those rows.
+  void rebase_rows(const std::vector<std::uint32_t>& ids,
+                   const tensor::Matrix& rows);
+
+  /// Sorted ids of points whose candidate row in `values` (num_points x
+  /// width) drifted beyond tolerance from the reference. Pure query; points
+  /// without a reference yet are reported dirty.
+  std::vector<std::uint32_t> diff(const tensor::Matrix& values) const;
+
+  // --- sampled-stream interface (cadence signal) -------------------------
+
+  /// Observes fresh width-1 signal values for `ids`; first sight of a point
+  /// sets its reference, later sights mark it dirty on drift. Returns the
+  /// number of points newly marked dirty.
+  std::size_t observe(const std::vector<std::uint32_t>& ids,
+                      const std::vector<double>& values);
+
+  /// Absorbs the drift seen so far: every observed point's last value
+  /// becomes its reference and dirty marks clear. Call after a rebuild.
+  void settle();
+
+  bool is_dirty(std::uint32_t i) const { return dirty_[i] != 0; }
+  std::size_t dirty_count() const { return dirty_count_; }
+  std::size_t observed_count() const { return observed_count_; }
+
+  /// dirty / observed among stream-observed points (0 when none observed):
+  /// the RefreshScheduler cadence signal.
+  double dirty_fraction() const;
+
+ private:
+  bool row_dirty(const double* ref, const double* cand) const;
+
+  std::size_t n_ = 0, w_ = 0;
+  double tol_ = 0.0;
+  bool relative_to_reference_ = false;
+  double reference_floor_ = 1e-12;
+  std::vector<double> scale_;
+  std::vector<double> ref_;      // n x w, row-major
+  std::vector<double> last_;     // last stream observation
+  std::vector<char> has_ref_;
+  std::vector<char> observed_;
+  std::vector<char> dirty_;
+  std::size_t dirty_count_ = 0;
+  std::size_t observed_count_ = 0;
+};
+
+}  // namespace sgm::core

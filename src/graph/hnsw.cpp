@@ -33,21 +33,84 @@ HnswIndex::HnswIndex(const Matrix& points, const HnswOptions& options)
     // Exponentially distributed level (the classic HNSW assignment).
     double u = rng.uniform();
     if (u <= 0.0) u = std::numeric_limits<double>::min();
-    const int level = static_cast<int>(-std::log(u) * ml);
-    levels_[i] = level;
-    adj_[i].resize(level + 1);
+    levels_[i] = static_cast<int>(-std::log(u) * ml);
+    insert_existing(i, scratch);
+  }
+}
 
-    const double* q = pts_.row(i);
-    NodeId ep = greedy_descend(q, entry_, max_level_, level + 1);
-    for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
-      auto cands = search_layer(q, ep, opt_.ef_construction, lc, -1, scratch);
-      connect(i, lc, cands);
-      if (!cands.empty()) ep = cands.front().id;
-    }
-    if (level > max_level_) {
-      max_level_ = level;
-      entry_ = i;
-    }
+void HnswIndex::insert_existing(NodeId i, SearchScratch& scratch) {
+  const int level = levels_[i];
+  adj_[i].assign(static_cast<std::size_t>(level) + 1, {});
+  const double* q = pts_.row(i);
+  NodeId ep = greedy_descend(q, entry_, max_level_, level + 1);
+  for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
+    auto cands = search_layer(q, ep, opt_.ef_construction, lc, -1, scratch);
+    connect(i, lc, cands);
+    if (!cands.empty()) ep = cands.front().id;
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_ = i;
+  }
+}
+
+void HnswIndex::update_points(const std::vector<NodeId>& ids,
+                              const Matrix& rows) {
+  if (rows.rows() != ids.size() || (rows.rows() > 0 && rows.cols() != d_))
+    throw std::invalid_argument("HnswIndex::update_points: shape mismatch");
+  if (ids.empty()) return;
+  std::vector<char> dirty(n_, 0);
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    if (ids[t] >= n_)
+      throw std::out_of_range("HnswIndex::update_points: id out of range");
+    dirty[ids[t]] = 1;
+    for (std::size_t c = 0; c < d_; ++c) pts_(ids[t], c) = rows(t, c);
+  }
+  std::vector<NodeId> order(ids);
+  std::sort(order.begin(), order.end());
+  order.erase(std::unique(order.begin(), order.end()), order.end());
+
+  SearchScratch scratch;
+  if (order.size() == n_) {
+    // Everything moved: re-run the construction sweep at preserved levels.
+    for (auto& levels : adj_) levels.clear();
+    adj_[0].assign(static_cast<std::size_t>(levels_[0]) + 1, {});
+    entry_ = 0;
+    max_level_ = levels_[0];
+    for (NodeId i = 1; i < n_; ++i) insert_existing(i, scratch);
+    return;
+  }
+
+  // Unlink every dirty node, then re-insert each at its new position (and
+  // original level) in ascending id order. Levels are preserved, so the
+  // global max level cannot change; only the entry point may need a stand-in
+  // while its node is detached.
+  for (NodeId v = 0; v < n_; ++v) {
+    if (dirty[v]) continue;
+    for (auto& lst : adj_[v])
+      lst.erase(std::remove_if(lst.begin(), lst.end(),
+                               [&](NodeId nb) { return dirty[nb] != 0; }),
+                lst.end());
+  }
+  if (dirty[entry_]) {
+    NodeId best = 0;
+    int best_level = -1;
+    for (NodeId v = 0; v < n_; ++v)
+      if (!dirty[v] && levels_[v] > best_level) {
+        best_level = levels_[v];
+        best = v;
+      }
+    entry_ = best;
+  }
+  for (NodeId i : order) insert_existing(i, scratch);
+  if (levels_[entry_] < max_level_) {
+    // Deterministically restore a top-level entry point (the stand-in may
+    // sit below the top layer).
+    for (NodeId v = 0; v < n_; ++v)
+      if (levels_[v] == max_level_) {
+        entry_ = v;
+        break;
+      }
   }
 }
 
@@ -154,6 +217,11 @@ void HnswIndex::connect(NodeId node, int level,
   auto& mine = neighbors(node, level);
   for (const auto& c : candidates) {
     if (c.id == node) continue;
+    // A candidate that does not reach this layer cannot be linked here.
+    // Normal construction never produces one, but update_points' stand-in
+    // entry point (used while the true top-level node is detached) can
+    // surface at layers above its own level.
+    if (static_cast<std::size_t>(level) >= adj_[c.id].size()) continue;
     if (mine.size() >= m_max) break;
     mine.push_back(c.id);
     auto& theirs = neighbors(c.id, level);
@@ -228,64 +296,17 @@ CsrGraph build_knn_graph_hnsw(const Matrix& points,
   HnswIndex index(points, hnsw_options);
 
   constexpr std::size_t kGrain = 256;
-  const std::size_t chunks = util::num_chunks(0, n, kGrain);
   std::vector<KnnResult> nn(n);
-  std::vector<double> chunk_dist(chunks, 0.0);
-  std::vector<std::size_t> chunk_count(chunks, 0);
   util::parallel_for_chunks(
       0, n, kGrain, graph_options.num_threads,
-      [&](std::size_t b, std::size_t e, std::size_t c) {
+      [&](std::size_t b, std::size_t e, std::size_t) {
         HnswIndex::SearchScratch scratch;
-        double s = 0.0;
-        std::size_t cnt = 0;
-        for (std::size_t i = b; i < e; ++i) {
+        for (std::size_t i = b; i < e; ++i)
           nn[i] = index.query_point(static_cast<NodeId>(i), k, scratch);
-          for (double d2v : nn[i].dist2) {
-            s += std::sqrt(d2v);
-            ++cnt;
-          }
-        }
-        chunk_dist[c] = s;
-        chunk_count[c] = cnt;
       });
-  double mean_dist = 0.0;
-  std::size_t count = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    mean_dist += chunk_dist[c];
-    count += chunk_count[c];
-  }
-  if (count) mean_dist /= static_cast<double>(count);
-  const double sigma = mean_dist > 0 ? mean_dist : 1.0;
-
-  std::vector<std::vector<Edge>> chunk_edges(chunks);
-  util::parallel_for_chunks(
-      0, n, kGrain, graph_options.num_threads,
-      [&](std::size_t b, std::size_t e, std::size_t c) {
-        auto& out = chunk_edges[c];
-        out.reserve((e - b) * k);
-        for (std::size_t i = b; i < e; ++i) {
-          for (std::size_t t = 0; t < nn[i].index.size(); ++t) {
-            const double dv = std::sqrt(nn[i].dist2[t]);
-            double w = 1.0;
-            switch (graph_options.weight) {
-              case KnnWeight::kUnit: w = 1.0; break;
-              case KnnWeight::kInverse:
-                w = 1.0 / (dv + graph_options.inverse_eps);
-                break;
-              case KnnWeight::kGauss:
-                w = std::exp(-nn[i].dist2[t] / (2.0 * sigma * sigma));
-                break;
-            }
-            out.push_back({static_cast<NodeId>(i), nn[i].index[t], w});
-          }
-        }
-      });
-  std::vector<Edge> edges;
-  edges.reserve(n * k);
-  for (auto& ce : chunk_edges)
-    edges.insert(edges.end(), ce.begin(), ce.end());
-  symmetrize_edges(edges, graph_options.num_threads);
-  return CsrGraph::from_edges(static_cast<NodeId>(n), std::move(edges));
+  const double sigma =
+      knn_detail::mean_knn_distance(nn, graph_options.num_threads);
+  return knn_detail::graph_from_nn(nn, n, k, graph_options, sigma);
 }
 
 }  // namespace sgm::graph

@@ -44,6 +44,17 @@ class HnswIndex {
   KnnResult query_point(NodeId i, std::size_t k,
                         SearchScratch& scratch) const;
 
+  /// Moves the points at `ids` to the rows of `rows` (|ids| x d, aligned
+  /// with `ids`) by deleting them from every adjacency list and re-inserting
+  /// them at their new coordinates, keeping each point's original level so
+  /// the level-assignment rng stream is untouched. Deterministic: ids are
+  /// processed in ascending order on the calling thread. The mutated index
+  /// is a valid HNSW graph but not bit-identical to a fresh build over the
+  /// same points; tests bound the recall gap (see test_knn.cpp). Re-inserts
+  /// everything from scratch when every point is dirty.
+  void update_points(const std::vector<NodeId>& ids,
+                     const tensor::Matrix& rows);
+
   std::size_t size() const { return n_; }
   std::size_t max_level() const { return levels_.empty() ? 0 : max_level_; }
 
@@ -56,6 +67,7 @@ class HnswIndex {
   };
 
   double dist2(const double* a, NodeId b) const;
+  void insert_existing(NodeId i, SearchScratch& scratch);
   NodeId greedy_descend(const double* q, NodeId entry, int from_level,
                         int to_level) const;
   std::vector<SearchCandidate> search_layer(const double* q, NodeId entry,

@@ -22,15 +22,20 @@ inline double dist2(const double* a, const double* b, std::size_t d) {
   return s;
 }
 
-// Max-heap on (dist2, index): keeps the k best seen so far.
+// Max-heap on (dist2, index): keeps the k lexicographically-smallest
+// (dist2, index) pairs seen so far. Comparing the full pair (not just the
+// distance) makes tie-breaking canonical: the selected set depends only on
+// the candidate multiset, never on traversal order — which is what lets the
+// incremental engine splice cached results next to fresh tree queries.
 inline void heap_push(std::vector<std::pair<double, NodeId>>& heap,
                       std::size_t k, double d2, NodeId idx) {
+  const std::pair<double, NodeId> cand{d2, idx};
   if (heap.size() < k) {
-    heap.emplace_back(d2, idx);
+    heap.push_back(cand);
     std::push_heap(heap.begin(), heap.end());
-  } else if (d2 < heap.front().first) {
+  } else if (cand < heap.front()) {
     std::pop_heap(heap.begin(), heap.end());
-    heap.back() = {d2, idx};
+    heap.back() = cand;
     std::push_heap(heap.begin(), heap.end());
   }
 }
@@ -51,9 +56,26 @@ KnnResult heap_to_result(std::vector<std::pair<double, NodeId>> heap) {
 KdTree::KdTree(const Matrix& points)
     : n_(points.rows()), d_(points.cols()), pts_(points) {
   if (d_ == 0) throw std::invalid_argument("KdTree: dimension must be >= 1");
+  rebuild();
+}
+
+void KdTree::rebuild() {
+  nodes_.clear();
   order_.resize(n_);
   std::iota(order_.begin(), order_.end(), NodeId{0});
   if (n_ > 0) build(0, static_cast<std::uint32_t>(n_), 0);
+}
+
+void KdTree::update_points(const std::vector<NodeId>& ids,
+                           const Matrix& rows) {
+  if (rows.rows() != ids.size() || (rows.rows() > 0 && rows.cols() != d_))
+    throw std::invalid_argument("KdTree::update_points: shape mismatch");
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    if (ids[t] >= n_)
+      throw std::out_of_range("KdTree::update_points: id out of range");
+    for (std::size_t c = 0; c < d_; ++c) pts_(ids[t], c) = rows(t, c);
+  }
+  rebuild();
 }
 
 std::int32_t KdTree::build(std::uint32_t begin, std::uint32_t end, int depth) {
@@ -136,6 +158,31 @@ KnnResult KdTree::query_point(NodeId i, std::size_t k) const {
   return heap_to_result(std::move(heap));
 }
 
+bool KdTree::search_within(std::int32_t node, const double* q, double r2,
+                           std::int64_t exclude) const {
+  const Node& nd = nodes_[node];
+  if (nd.leaf) {
+    for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
+      const NodeId idx = order_[i];
+      if (static_cast<std::int64_t>(idx) == exclude) continue;
+      if (dist2(q, pts_.row(idx), d_) <= r2) return true;
+    }
+    return false;
+  }
+  const double delta = q[nd.axis] - nd.split;
+  const std::int32_t near = delta <= 0.0 ? nd.left : nd.right;
+  const std::int32_t far = delta <= 0.0 ? nd.right : nd.left;
+  if (search_within(near, q, r2, exclude)) return true;
+  if (delta * delta <= r2) return search_within(far, q, r2, exclude);
+  return false;
+}
+
+bool KdTree::any_within(const double* q, double r2,
+                        std::int64_t exclude) const {
+  if (n_ == 0 || r2 < 0.0) return false;
+  return search_within(0, q, r2, exclude);
+}
+
 KnnResult knn_brute_force(const Matrix& points, const double* query,
                           std::size_t k, std::int64_t exclude) {
   std::vector<std::pair<double, NodeId>> heap;
@@ -201,27 +248,25 @@ void symmetrize_edges(std::vector<Edge>& edges, std::size_t num_threads) {
               edges.end());
 }
 
-CsrGraph build_knn_graph(const Matrix& points, const KnnGraphOptions& options) {
-  const std::size_t n = points.rows();
-  if (n == 0) return CsrGraph();
-  const std::size_t k = std::min(options.k, n - 1);
-  KdTree tree(points);
+namespace knn_detail {
 
-  // Directed candidate lists; symmetrized below. Per-point queries run on
-  // the pool; the kNN-distance sum is reduced per chunk and merged in chunk
-  // order so sigma is bit-identical for every thread count.
+double mean_knn_distance(const std::vector<KnnResult>& nn,
+                         std::size_t num_threads) {
+  // Per-chunk partial sums merged in chunk order: the additions happen in
+  // exactly the order the full builders' fused query/reduce loop used, so
+  // sigma is bit-identical for every thread count and for cached-vs-fresh
+  // nn lists alike.
   constexpr std::size_t kGrain = 256;
+  const std::size_t n = nn.size();
   const std::size_t chunks = util::num_chunks(0, n, kGrain);
-  std::vector<KnnResult> nn(n);
   std::vector<double> chunk_dist(chunks, 0.0);
   std::vector<std::size_t> chunk_count(chunks, 0);
   util::parallel_for_chunks(
-      0, n, kGrain, options.num_threads,
+      0, n, kGrain, num_threads,
       [&](std::size_t b, std::size_t e, std::size_t c) {
         double s = 0.0;
         std::size_t cnt = 0;
         for (std::size_t i = b; i < e; ++i) {
-          nn[i] = tree.query_point(static_cast<NodeId>(i), k);
           for (double d2v : nn[i].dist2) {
             s += std::sqrt(d2v);
             ++cnt;
@@ -237,8 +282,12 @@ CsrGraph build_knn_graph(const Matrix& points, const KnnGraphOptions& options) {
     dist_count += chunk_count[c];
   }
   if (dist_count > 0) mean_dist /= static_cast<double>(dist_count);
-  const double sigma = mean_dist > 0 ? mean_dist : 1.0;
+  return mean_dist > 0 ? mean_dist : 1.0;
+}
 
+CsrGraph graph_from_nn(const std::vector<KnnResult>& nn, std::size_t n,
+                       std::size_t k, const KnnGraphOptions& options,
+                       double sigma) {
   auto weight_of = [&](double d2v) {
     const double d = std::sqrt(d2v);
     switch (options.weight) {
@@ -251,6 +300,8 @@ CsrGraph build_knn_graph(const Matrix& points, const KnnGraphOptions& options) {
 
   // Per-chunk edge lists concatenated in chunk order keep the pre-sort edge
   // sequence identical to the serial one.
+  constexpr std::size_t kGrain = 256;
+  const std::size_t chunks = util::num_chunks(0, n, kGrain);
   std::vector<std::vector<Edge>> chunk_edges(chunks);
   util::parallel_for_chunks(
       0, n, kGrain, options.num_threads,
@@ -281,6 +332,28 @@ CsrGraph build_knn_graph(const Matrix& points, const KnnGraphOptions& options) {
   // pre-deduplicating instead, so union edges keep their single weight.
   symmetrize_edges(edges, options.num_threads);
   return CsrGraph::from_edges(static_cast<NodeId>(n), std::move(edges));
+}
+
+}  // namespace knn_detail
+
+CsrGraph build_knn_graph(const Matrix& points, const KnnGraphOptions& options) {
+  const std::size_t n = points.rows();
+  if (n == 0) return CsrGraph();
+  const std::size_t k = std::min(options.k, n - 1);
+  KdTree tree(points);
+
+  // Directed candidate lists; weighted and symmetrized by graph_from_nn.
+  constexpr std::size_t kGrain = 256;
+  std::vector<KnnResult> nn(n);
+  util::parallel_for_chunks(
+      0, n, kGrain, options.num_threads,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i)
+          nn[i] = tree.query_point(static_cast<NodeId>(i), k);
+      });
+  const double sigma =
+      knn_detail::mean_knn_distance(nn, options.num_threads);
+  return knn_detail::graph_from_nn(nn, n, k, options, sigma);
 }
 
 }  // namespace sgm::graph

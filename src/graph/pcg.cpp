@@ -7,8 +7,10 @@ namespace sgm::graph {
 
 PcgResult pcg_solve(const std::function<void(const Vec&, Vec&)>& apply,
                     const Vec& diagonal, const Vec& b,
-                    const PcgOptions& options, bool deflate) {
+                    const PcgOptions& options, bool deflate, const Vec* x0) {
   const std::size_t n = b.size();
+  if (x0 != nullptr && x0->size() != n)
+    throw std::invalid_argument("pcg_solve: x0 size mismatch");
   PcgResult result;
   result.x.assign(n, 0.0);
 
@@ -21,6 +23,20 @@ PcgResult pcg_solve(const std::function<void(const Vec&, Vec&)>& apply,
   }
 
   Vec z(n), p(n), ap(n);
+  if (x0 != nullptr) {
+    // Warm start: x = x0, r = b - A x0. Convergence stays relative to ||b||,
+    // so an already-converged x0 exits below with zero iterations.
+    result.x = *x0;
+    if (deflate) deflate_constant(result.x);
+    apply(result.x, ap);
+    if (deflate) deflate_constant(ap);
+    for (std::size_t i = 0; i < n; ++i) r[i] -= ap[i];
+    result.residual_norm = norm2(r);
+    if (result.residual_norm <= options.rel_tol * bnorm) {
+      result.converged = true;
+      return result;
+    }
+  }
   auto precondition = [&](const Vec& rin, Vec& zout) {
     for (std::size_t i = 0; i < n; ++i)
       zout[i] = diagonal[i] > 0.0 ? rin[i] / diagonal[i] : rin[i];
@@ -58,7 +74,7 @@ PcgResult pcg_solve(const std::function<void(const Vec&, Vec&)>& apply,
 }
 
 PcgResult pcg_solve_laplacian(const CsrGraph& g, const Vec& b,
-                              const PcgOptions& options) {
+                              const PcgOptions& options, const Vec* x0) {
   if (b.size() != g.num_nodes())
     throw std::invalid_argument("pcg_solve_laplacian: size mismatch");
   Vec diag = laplacian_diagonal(g);
@@ -75,7 +91,7 @@ PcgResult pcg_solve_laplacian(const CsrGraph& g, const Vec& b,
     if (shift > 0.0)
       for (std::size_t i = 0; i < x.size(); ++i) y[i] += shift * x[i];
   };
-  return pcg_solve(apply, diag, b, options, /*deflate=*/shift == 0.0);
+  return pcg_solve(apply, diag, b, options, /*deflate=*/shift == 0.0, x0);
 }
 
 }  // namespace sgm::graph

@@ -29,14 +29,21 @@ struct PcgResult {
 
 /// Solves (L + shift*I) x = b with Jacobi preconditioning and constant-mode
 /// deflation (deflation is skipped when shift > 0, where the operator is
-/// nonsingular).
+/// nonsingular). `x0` optionally warm-starts the iteration: convergence is
+/// still judged against ||b|| (not the initial residual), so a warm start
+/// whose residual already meets rel_tol returns after zero iterations — the
+/// incremental effective-resistance path leans on this to skip columns the
+/// graph update left untouched.
 PcgResult pcg_solve_laplacian(const CsrGraph& g, const Vec& b,
-                              const PcgOptions& options = {});
+                              const PcgOptions& options = {},
+                              const Vec* x0 = nullptr);
 
 /// Generic PCG on a user operator with a diagonal preconditioner.
 /// `apply(x, y)` must compute y = A x for an SPD (or deflated-SPSD) A.
+/// `x0` warm-starts the iteration (see pcg_solve_laplacian).
 PcgResult pcg_solve(const std::function<void(const Vec&, Vec&)>& apply,
                     const Vec& diagonal, const Vec& b,
-                    const PcgOptions& options, bool deflate);
+                    const PcgOptions& options, bool deflate,
+                    const Vec* x0 = nullptr);
 
 }  // namespace sgm::graph

@@ -259,6 +259,46 @@ TEST(Integration, TrainerHistoryDeterministicUnderAsyncRebuild) {
                                                   "sgm async rebuild");
 }
 
+TEST(Integration, TrainerHistoryDeterministicUnderAsyncIncrementalRefresh) {
+  // The incremental refresh engine threaded through the async rebuild path:
+  // the engine's state is owned by the worker between launch and the next
+  // barrier, refresh outcomes (dirty detection, kNN update, warm-started
+  // ER, cadence signal) are pure functions of the iteration schedule, so
+  // same-seed histories must still be identical — including the
+  // dirty-fraction-modulated rebuild cadence.
+  sgm::pinn::PoissonProblem::Options popt;
+  popt.interior_points = 512;
+  sgm::pinn::PoissonProblem problem(popt);
+  auto run_once = [&](std::size_t threads) {
+    Mlp net = make_net(2, 1, 23, 16, 2);
+    sgm::core::SgmOptions sopt;
+    sopt.pgm.knn.k = 6;
+    sopt.lrd.levels = 4;
+    sopt.tau_e = 150;
+    sopt.tau_g = 110;
+    sopt.async_rebuild = true;
+    sopt.incremental_refresh = true;
+    sopt.rebuild_output_weight = 0.5;
+    sopt.dirty_tolerance = 0.02;
+    sopt.num_threads = threads;
+    sgm::core::SgmSampler sampler(problem.interior_points(), sopt);
+    sampler.set_outputs_provider([&](const std::vector<std::uint32_t>& rows) {
+      return net.forward(sgm::pinn::gather_rows(problem.interior_points(),
+                                                rows));
+    });
+    auto topt = fast_trainer(450);
+    topt.validate_every = 150;
+    topt.num_threads = threads;
+    sgm::pinn::Trainer trainer(problem, net, sampler, topt);
+    return trainer.run();
+  };
+  const auto h1 = run_once(1);
+  sgm::pinn::testutil::expect_identical_histories(
+      h1, run_once(1), "sgm async incremental, repeated");
+  sgm::pinn::testutil::expect_identical_histories(
+      h1, run_once(4), "sgm async incremental, 1 vs 4 threads");
+}
+
 // Telemetry round-trip: the CSV must parse back into exactly the recorded
 // history — same column layout, bitwise-equal values (format_double writes
 // %.17g so doubles survive the text round trip).

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <set>
 #include <thread>
 
@@ -228,6 +229,229 @@ TEST(Hnsw, ResultsSortedByDistance) {
   sgm::graph::HnswIndex index(pts, {});
   auto r = index.query(pts.row(7), 8);
   EXPECT_TRUE(std::is_sorted(r.dist2.begin(), r.dist2.end()));
+}
+
+// ------------------------------------------------- update_points ----------
+
+namespace {
+
+/// Recall of `index` against brute force over `pts` on a fixed query set.
+double static_query_recall(const sgm::graph::HnswIndex& index,
+                           const Matrix& pts, const Matrix& queries,
+                           std::size_t k) {
+  std::size_t hit = 0, total = 0;
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    auto approx = index.query(queries.row(q), k);
+    auto exact = sgm::graph::knn_brute_force(pts, queries.row(q), k);
+    std::set<sgm::graph::NodeId> truth(exact.index.begin(),
+                                       exact.index.end());
+    for (auto idx : approx.index) hit += truth.count(idx);
+    total += k;
+  }
+  return static_cast<double>(hit) / static_cast<double>(total);
+}
+
+/// Moves `fraction` of the points to fresh uniform positions; returns the
+/// moved ids (sorted) and their new rows.
+std::pair<std::vector<sgm::graph::NodeId>, Matrix> move_points(
+    Matrix& pts, double fraction, sgm::util::Rng& rng) {
+  const auto n = static_cast<std::uint32_t>(pts.rows());
+  const auto want = static_cast<std::uint32_t>(fraction * n);
+  std::vector<std::uint32_t> ids = rng.sample_without_replacement(n, want);
+  std::sort(ids.begin(), ids.end());
+  Matrix rows(ids.size(), pts.cols());
+  for (std::size_t t = 0; t < ids.size(); ++t)
+    for (std::size_t c = 0; c < pts.cols(); ++c) {
+      rows(t, c) = rng.uniform();
+      pts(ids[t], c) = rows(t, c);
+    }
+  return {std::vector<sgm::graph::NodeId>(ids.begin(), ids.end()),
+          std::move(rows)};
+}
+
+}  // namespace
+
+TEST(HnswUpdate, RecallWithinTwoPointsOfFreshBuild) {
+  // The insert/delete contract of the incremental refresh engine: after
+  // moving 10% of the points, the mutated index's recall on a static query
+  // set may trail a from-scratch build by at most 2 points.
+  sgm::util::Rng rng(101);
+  const std::size_t n = 2000, k = 10;
+  Matrix pts = random_points(n, 2, rng);
+  sgm::graph::HnswOptions hopt;
+  hopt.ef_search = 96;
+  sgm::graph::HnswIndex index(pts, hopt);
+
+  const Matrix queries = random_points(64, 2, rng);
+  auto [ids, rows] = move_points(pts, 0.10, rng);
+  index.update_points(ids, rows);
+  sgm::graph::HnswIndex fresh(pts, hopt);
+
+  const double recall_updated = static_query_recall(index, pts, queries, k);
+  const double recall_fresh = static_query_recall(fresh, pts, queries, k);
+  EXPECT_GE(recall_updated, recall_fresh - 0.02)
+      << "updated " << recall_updated << " vs fresh " << recall_fresh;
+  EXPECT_GT(recall_updated, 0.85);
+}
+
+TEST(HnswUpdate, RepeatedUpdatesKeepRecall) {
+  // Churn the index across several refresh rounds: unlink damage must heal
+  // through re-insertion back-links instead of accumulating.
+  sgm::util::Rng rng(103);
+  const std::size_t n = 1200, k = 8;
+  Matrix pts = random_points(n, 2, rng);
+  sgm::graph::HnswOptions hopt;
+  hopt.ef_search = 96;
+  sgm::graph::HnswIndex index(pts, hopt);
+  const Matrix queries = random_points(48, 2, rng);
+  for (int round = 0; round < 5; ++round) {
+    auto [ids, rows] = move_points(pts, 0.05, rng);
+    index.update_points(ids, rows);
+  }
+  sgm::graph::HnswIndex fresh(pts, hopt);
+  const double recall_updated = static_query_recall(index, pts, queries, k);
+  const double recall_fresh = static_query_recall(fresh, pts, queries, k);
+  EXPECT_GE(recall_updated, recall_fresh - 0.02)
+      << "updated " << recall_updated << " vs fresh " << recall_fresh;
+}
+
+TEST(HnswUpdate, SelfExclusionAndDeterminismAfterUpdate) {
+  sgm::util::Rng rng(107);
+  Matrix pts = random_points(500, 2, rng);
+  sgm::graph::HnswIndex a(pts, {});
+  sgm::graph::HnswIndex b(pts, {});
+  auto [ids, rows] = move_points(pts, 0.2, rng);
+  a.update_points(ids, rows);
+  b.update_points(ids, rows);
+  for (int probe = 0; probe < 20; ++probe) {
+    const auto i =
+        static_cast<sgm::graph::NodeId>(rng.uniform_index(pts.rows()));
+    auto ra = a.query_point(i, 5);
+    auto rb = b.query_point(i, 5);
+    for (auto idx : ra.index) EXPECT_NE(idx, i);
+    EXPECT_EQ(ra.index, rb.index) << "update_points must be deterministic";
+  }
+}
+
+TEST(HnswUpdate, SurvivesDirtySetContainingEveryTopLevelNode) {
+  // When the dirty set contains every top-level node, the stand-in entry
+  // point sits below max_level and can surface as a search candidate at
+  // layers above its own level; connect() must skip it rather than index
+  // past its adjacency (regression: out-of-bounds write). Sweeping the
+  // single point that stays clean guarantees some sweep iteration detaches
+  // all top-level nodes regardless of the level assignment.
+  sgm::util::Rng rng(211);
+  const std::size_t n = 60;
+  const Matrix pts = random_points(n, 2, rng);
+  for (std::size_t keep = 0; keep < n; ++keep) {
+    sgm::graph::HnswIndex index(pts, {});
+    std::vector<sgm::graph::NodeId> ids;
+    Matrix rows(n - 1, 2);
+    std::size_t t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == keep) continue;
+      ids.push_back(static_cast<sgm::graph::NodeId>(i));
+      rows(t, 0) = rng.uniform();
+      rows(t, 1) = rng.uniform();
+      ++t;
+    }
+    index.update_points(ids, rows);
+    auto r = index.query_point(static_cast<sgm::graph::NodeId>(keep), 4);
+    EXPECT_EQ(r.index.size(), 4u) << "keep " << keep;
+  }
+}
+
+TEST(HnswUpdate, AllPointsDirtyRebuildsAtPreservedLevels) {
+  sgm::util::Rng rng(109);
+  Matrix pts = random_points(300, 2, rng);
+  sgm::graph::HnswIndex index(pts, {});
+  std::vector<sgm::graph::NodeId> all(pts.rows());
+  std::iota(all.begin(), all.end(), sgm::graph::NodeId{0});
+  Matrix rows = random_points(pts.rows(), 2, rng);
+  index.update_points(all, rows);
+  // Every point findable and self-excluded after the full re-insertion.
+  for (int probe = 0; probe < 20; ++probe) {
+    const auto i =
+        static_cast<sgm::graph::NodeId>(rng.uniform_index(rows.rows()));
+    auto r = index.query_point(i, 4);
+    EXPECT_EQ(r.index.size(), 4u);
+    for (auto idx : r.index) EXPECT_NE(idx, i);
+  }
+}
+
+TEST(HnswUpdate, ConcurrentConstQueriesMatchSerialOnMutatedIndex) {
+  // The PR 2 race-freedom contract re-run against an index that has been
+  // through update_points: queries still share no mutable state.
+  sgm::util::Rng rng(113);
+  const std::size_t n = 800, k = 6;
+  Matrix pts = random_points(n, 2, rng);
+  sgm::graph::HnswIndex mutated(pts, {});
+  auto [ids, rows] = move_points(pts, 0.15, rng);
+  mutated.update_points(ids, rows);
+  const sgm::graph::HnswIndex& index = mutated;
+
+  std::vector<KnnResult> serial(n);
+  for (std::size_t i = 0; i < n; ++i)
+    serial[i] = index.query_point(static_cast<sgm::graph::NodeId>(i), k);
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<KnnResult> concurrent(n);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      sgm::graph::HnswIndex::SearchScratch scratch;
+      for (std::size_t i = t; i < n; i += kThreads)
+        concurrent[i] =
+            index.query_point(static_cast<sgm::graph::NodeId>(i), k, scratch);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(serial[i].index.size(), concurrent[i].index.size());
+    EXPECT_EQ(serial[i].index, concurrent[i].index) << "point " << i;
+    for (std::size_t j = 0; j < serial[i].dist2.size(); ++j)
+      EXPECT_EQ(serial[i].dist2[j], concurrent[i].dist2[j]);
+  }
+}
+
+TEST(KdTreeUpdate, MatchesFreshBuildExactly) {
+  // kd update_points keeps queries exact: identical (canonical) results to
+  // a tree built from scratch over the updated points.
+  sgm::util::Rng rng(127);
+  Matrix pts = random_points(600, 3, rng);
+  KdTree tree(pts);
+  auto [ids, rows] = move_points(pts, 0.2, rng);
+  tree.update_points(ids, rows);
+  KdTree fresh(pts);
+  for (int probe = 0; probe < 40; ++probe) {
+    const auto i =
+        static_cast<sgm::graph::NodeId>(rng.uniform_index(pts.rows()));
+    const auto a = tree.query_point(i, 7);
+    const auto b = fresh.query_point(i, 7);
+    EXPECT_EQ(a.index, b.index) << "point " << i;
+    EXPECT_EQ(a.dist2, b.dist2) << "point " << i;
+  }
+}
+
+TEST(KdTree, AnyWithinAgreesWithBruteForce) {
+  sgm::util::Rng rng(131);
+  const Matrix pts = random_points(400, 2, rng);
+  KdTree tree(pts);
+  for (int probe = 0; probe < 200; ++probe) {
+    double q[2] = {rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)};
+    const double r2 = rng.uniform(0.0, 0.02);
+    bool brute = false;
+    for (std::size_t i = 0; i < pts.rows() && !brute; ++i) {
+      const double dx = q[0] - pts(i, 0), dy = q[1] - pts(i, 1);
+      brute = dx * dx + dy * dy <= r2;
+    }
+    EXPECT_EQ(tree.any_within(q, r2), brute) << "probe " << probe;
+  }
+  // Exclusion: the indexed point itself is found at radius 0 unless
+  // excluded (generic random cloud: no duplicates).
+  EXPECT_TRUE(tree.any_within(pts.row(5), 0.0, -1));
+  EXPECT_FALSE(tree.any_within(pts.row(5), 0.0, 5));
 }
 
 }  // namespace
