@@ -1,0 +1,221 @@
+// Serving-engine throughput/latency benchmark: closed-loop clients hammer
+// the InferenceBatcher (the same path the HTTP front end uses, minus socket
+// I/O) against a registry-published scenario network, and the batcher's
+// coalescing turns the concurrent single-row queries into blocked-GEMM
+// forwards.
+//
+// Arms: a client-count sweep at the smoke-scale poisson2d network. Each arm
+// reports queries/s, p50/p99/p999 end-to-end latency (enqueue -> response,
+// from the engine's own HDR histogram) and the realized mean batch size —
+// the number that explains the throughput curve.
+//
+// Env knobs:
+//   SGM_BENCH_SERVE_SECONDS  wall seconds per arm          (default 2)
+//   SGM_BENCH_SERVE_CLIENTS  comma list of client counts   (default 1,4,16,64)
+//   SGM_BENCH_SERVE_BATCH    batcher max_batch             (default 64)
+//   SGM_BENCH_THREADS        forward threads per batch     (default 2)
+//   SGM_BENCH_JSON=1         write BENCH_serve.json next to the binary
+//                            (uploaded by the serve-smoke CI job; baseline
+//                            committed at bench/baselines/BENCH_serve_pr6.json)
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "pinn/scenario.hpp"
+#include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/model_registry.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace sgm;
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double parsed = std::atof(v);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+std::size_t env_size_t(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long long parsed = std::atoll(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+std::vector<std::size_t> client_counts() {
+  std::vector<std::size_t> counts;
+  const char* v = std::getenv("SGM_BENCH_SERVE_CLIENTS");
+  std::string spec = v ? v : "1,4,16,64";
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const long long parsed = std::atoll(tok.c_str());
+    if (parsed > 0) counts.push_back(static_cast<std::size_t>(parsed));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (counts.empty()) counts = {1, 4, 16, 64};
+  return counts;
+}
+
+struct ArmResult {
+  std::size_t clients = 0;
+  std::uint64_t queries = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0, p99_us = 0.0, p999_us = 0.0;
+  double mean_batch = 0.0;
+  double full_flush_fraction = 0.0;
+};
+
+ArmResult run_arm(serve::ModelRegistry& registry, const std::string& scenario,
+                  std::size_t input_dim, std::size_t clients, double seconds,
+                  std::size_t max_batch, std::size_t num_threads) {
+  serve::ServeMetrics metrics;
+  serve::BatcherOptions opt;
+  opt.max_batch = max_batch;
+  opt.max_delay_s = 100e-6;
+  opt.num_threads = num_threads;
+  serve::InferenceBatcher batcher(registry, opt, &metrics);
+
+  // Pre-generate each client's probe set so the hot loop is queries only.
+  const std::size_t kProbes = 256;
+  std::vector<std::vector<std::vector<double>>> probes(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    util::Rng rng(100 + c);
+    probes[c].resize(kProbes);
+    for (auto& x : probes[c]) {
+      x.resize(input_dim);
+      for (auto& v : x) v = rng.uniform();
+    }
+  }
+
+  std::atomic<bool> run{true};
+  std::vector<std::uint64_t> served(clients, 0);
+  std::vector<std::thread> threads;
+  util::WallTimer timer;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::uint64_t count = 0;
+      while (run.load(std::memory_order_relaxed)) {
+        (void)batcher.query(scenario, probes[c][count % kProbes]);
+        ++count;
+      }
+      served[c] = count;
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds));
+  run.store(false);
+  for (auto& t : threads) t.join();
+  const double wall = timer.elapsed_s();
+  batcher.stop();
+
+  ArmResult r;
+  r.clients = clients;
+  for (const auto count : served) r.queries += count;
+  r.wall_s = wall;
+  r.qps = static_cast<double>(r.queries) / wall;
+  const auto snap = metrics.query_latency.snapshot();
+  r.p50_us = snap.quantile(0.5) * 1e6;
+  r.p99_us = snap.quantile(0.99) * 1e6;
+  r.p999_us = snap.quantile(0.999) * 1e6;
+  const auto batches = metrics.batches_total.load();
+  r.mean_batch = batches ? static_cast<double>(
+                               metrics.batched_queries_total.load()) /
+                               static_cast<double>(batches)
+                         : 0.0;
+  r.full_flush_fraction =
+      batches ? static_cast<double>(metrics.full_flushes_total.load()) /
+                    static_cast<double>(batches)
+              : 0.0;
+  return r;
+}
+
+void maybe_write_json(const std::vector<ArmResult>& arms,
+                      const std::string& scenario, std::size_t max_batch,
+                      std::size_t num_threads) {
+  const char* env = std::getenv("SGM_BENCH_JSON");
+  if (!env || std::string(env) == "0") return;
+  std::ofstream out("BENCH_serve.json");
+  out << "{\n  \"bench\": \"serve\",\n  \"scenario\": \"" << scenario
+      << "\",\n  \"max_batch\": " << max_batch
+      << ",\n  \"num_threads\": " << num_threads << ",\n  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& a = arms[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"clients\": %zu, \"queries\": %llu, "
+                  "\"wall_s\": %.3f, \"queries_per_s\": %.0f, "
+                  "\"p50_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f, "
+                  "\"mean_batch\": %.2f, \"full_flush_fraction\": %.3f}%s\n",
+                  a.clients,
+                  static_cast<unsigned long long>(a.queries), a.wall_s,
+                  a.qps, a.p50_us, a.p99_us, a.p999_us, a.mean_batch,
+                  a.full_flush_fraction,
+                  i + 1 < arms.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("(json written to BENCH_serve.json)\n");
+}
+
+}  // namespace
+
+int main() {
+  const double seconds = env_double("SGM_BENCH_SERVE_SECONDS", 2.0);
+  const std::size_t max_batch = env_size_t("SGM_BENCH_SERVE_BATCH", 64);
+  const std::size_t num_threads = env_size_t("SGM_BENCH_THREADS", 2);
+  const std::string scenario = "poisson2d";
+
+  const auto cfg = pinn::ScenarioRegistry::instance().make(
+      scenario, pinn::ScenarioScale::kSmoke);
+  util::Rng rng(cfg.net_seed);
+  nn::Mlp net(cfg.net, rng);
+
+  namespace fs = std::filesystem;
+  const std::string root =
+      (fs::temp_directory_path() / "sgm_bench_serve_registry").string();
+  fs::remove_all(root);
+  serve::ModelRegistry registry(root);
+  registry.publish(scenario, net);
+  registry.pin(scenario);
+
+  std::printf(
+      "=== serve throughput: %s %zux%zu net, max_batch %zu, %zu forward "
+      "threads, %.1fs per arm ===\n",
+      scenario.c_str(), cfg.net.width, cfg.net.depth, max_batch, num_threads,
+      seconds);
+  std::printf("%8s %12s %12s %10s %10s %10s %11s %10s\n", "clients",
+              "queries", "queries/s", "p50_us", "p99_us", "p999_us",
+              "mean_batch", "full_frac");
+
+  std::vector<ArmResult> arms;
+  for (const std::size_t clients : client_counts()) {
+    const ArmResult r = run_arm(registry, scenario, cfg.net.input_dim,
+                                clients, seconds, max_batch, num_threads);
+    std::printf("%8zu %12llu %12.0f %10.2f %10.2f %10.2f %11.2f %10.3f\n",
+                r.clients, static_cast<unsigned long long>(r.queries), r.qps,
+                r.p50_us, r.p99_us, r.p999_us, r.mean_batch,
+                r.full_flush_fraction);
+    arms.push_back(r);
+  }
+  maybe_write_json(arms, scenario, max_batch, num_threads);
+  fs::remove_all(root);
+  return 0;
+}

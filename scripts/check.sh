@@ -8,11 +8,12 @@
 # regression harness (label tier2), which trains every scenario's SGM arm
 # AND its incremental-refresh configuration at num_threads=1 and =4 and
 # asserts the histories are byte-identical.
-# --bench builds Release and runs the train-step benchmark plus the
-# refresh-path benchmark with SGM_BENCH_JSON=1, leaving
-# BENCH_train_step.json and BENCH_incremental_refresh.json in the build dir
-# (the perf-smoke CI job does the same; compare against
-# bench/baselines/BENCH_train_step_pre_pr4.json).
+# --bench builds Release and runs the train-step benchmark, the
+# refresh-path benchmark and the serving-engine benchmark with
+# SGM_BENCH_JSON=1, leaving BENCH_train_step.json,
+# BENCH_incremental_refresh.json and BENCH_serve.json in the build dir
+# (the perf-smoke / serve-smoke CI jobs do the same; compare against
+# bench/baselines/).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +38,8 @@ if [[ "$TIER" == "bench" ]]; then
   echo "Wrote $BUILD_DIR/BENCH_train_step.json"
   (cd "$BUILD_DIR" && SGM_BENCH_JSON=1 ./bench_incremental_refresh)
   echo "Wrote $BUILD_DIR/BENCH_incremental_refresh.json"
+  (cd "$BUILD_DIR" && SGM_BENCH_JSON=1 ./bench_serve)
+  echo "Wrote $BUILD_DIR/BENCH_serve.json"
 elif [[ "$TIER" == "tier2" ]]; then
   ctest --test-dir "$BUILD_DIR" -L tier2 --output-on-failure
 elif [[ "$TIER" == "tier1" ]]; then

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace sgm::nn {
 
 using tensor::Matrix;
@@ -60,6 +62,44 @@ Matrix Mlp::forward(const Matrix& x) const {
     a = std::move(z);
   }
   return a;
+}
+
+void Mlp::forward_batched(const Matrix& x, Matrix& out, ForwardWorkspace& ws,
+                          std::size_t num_threads) const {
+  if (x.cols() != cfg_.input_dim)
+    throw std::invalid_argument("Mlp::forward_batched: input width mismatch");
+  const std::size_t n = x.rows();
+  const Matrix* src = &x;
+  if (cfg_.encoding) {
+    cfg_.encoding->encode(x, 0, ws.e, ws.de, ws.d2e);
+    src = &ws.e;
+  }
+  const Activation& act = *cfg_.activation;
+  const std::size_t n_layers = weights_.size();
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const bool last = (l + 1 == n_layers);
+    const Matrix& w = weights_[l];
+    const Matrix& b = biases_[l];
+    // Ping-pong between the pooled activations; the last layer writes
+    // straight into `out` (which must not alias `x`).
+    Matrix& dst = last ? out : (src == &ws.a ? ws.z : ws.a);
+    dst.resize(n, w.cols());
+    const Matrix& in = *src;
+    util::parallel_for_chunks(
+        0, n, /*grain=*/32, num_threads,
+        [&](std::size_t r0, std::size_t r1, std::size_t) {
+          tensor::gemm_nn(in, w, dst, r0, r1, /*accumulate=*/false);
+          for (std::size_t r = r0; r < r1; ++r) {
+            double* row = dst.row(r);
+            for (std::size_t c = 0; c < dst.cols(); ++c) row[c] += b(0, c);
+            if (!last) {
+              for (std::size_t c = 0; c < dst.cols(); ++c)
+                row[c] = act.eval(row[c], 0);
+            }
+          }
+        });
+    src = &dst;
+  }
 }
 
 Mlp::Binding Mlp::bind(Tape& tape) const {

@@ -51,6 +51,28 @@ class Mlp {
   /// Inference-only forward pass (no tape, no derivatives).
   tensor::Matrix forward(const tensor::Matrix& x) const;
 
+  /// Pooled activations for forward_batched (capacity retained across
+  /// calls, so the serving steady state allocates nothing).
+  struct ForwardWorkspace {
+    tensor::Matrix a, z;
+    tensor::Matrix e;
+    std::vector<tensor::Matrix> de, d2e;  ///< encoding scratch (unused)
+  };
+
+  /// Inference forward of batch `x` (n x input_dim) into `out`
+  /// (n x output_dim), built on the blocked row-range GEMM kernels with
+  /// optional row-parallelism over the shared thread pool. Each output row
+  /// is computed exactly as forward() computes it — the GEMM kernels
+  /// accumulate per element in a fixed reduction order regardless of tiling
+  /// or row span — so the result is bitwise identical to forward() row by
+  /// row, for any batch composition and any num_threads. This is the
+  /// serving batcher's coalesced path and the contract test_serve pins.
+  /// num_threads: 0 = SGM_NUM_THREADS env / hardware concurrency, 1 =
+  /// inline serial.
+  void forward_batched(const tensor::Matrix& x, tensor::Matrix& out,
+                       ForwardWorkspace& ws, std::size_t num_threads = 1)
+      const;
+
   /// Derivative propagation is carried in fixed-size per-dimension arrays;
   /// n_deriv beyond this throws (the PDE problems use at most 3 dims).
   static constexpr int kMaxDeriv = 8;

@@ -1,37 +1,231 @@
 #include "nn/serialize.hpp"
 
+#include <bit>
+#include <cstring>
 #include <fstream>
-#include <iomanip>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/encoding.hpp"
+#include "util/rng.hpp"
 
 namespace sgm::nn {
 
 namespace {
-constexpr const char* kMagic = "sgm-mlp";
-constexpr int kVersion = 1;
-}  // namespace
 
-void save_parameters(const Mlp& net, std::ostream& out) {
-  const auto params = net.parameters();
-  out << kMagic << ' ' << kVersion << ' ' << params.size() << '\n';
-  out << std::setprecision(17);
-  for (const auto* p : params) {
-    out << p->rows() << ' ' << p->cols();
-    for (std::size_t i = 0; i < p->size(); ++i) out << ' ' << p->data()[i];
-    out << '\n';
+constexpr char kMagicV2[8] = {'S', 'G', 'M', 'C', 'K', 'P', 'T', '2'};
+constexpr const char* kMagicV1 = "sgm-mlp";  // legacy text format
+
+constexpr std::uint32_t kEncodingNone = 0;
+constexpr std::uint32_t kEncodingFourier = 1;
+
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
   }
-  if (!out) throw std::runtime_error("save_parameters: stream write failed");
+  return h;
 }
 
-void load_parameters(Mlp& net, std::istream& in) {
+// Explicit little-endian byte (de)composition — the format's portability
+// contract does not depend on host byte order.
+void put_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put_f64(std::string& b, double v) {
+  put_u64(b, std::bit_cast<std::uint64_t>(v));
+}
+void put_str(std::string& b, const std::string& s) {
+  put_u32(b, static_cast<std::uint32_t>(s.size()));
+  b.append(s);
+}
+void put_matrix(std::string& b, const tensor::Matrix& m) {
+  put_u64(b, m.rows());
+  put_u64(b, m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) put_f64(b, m.data()[i]);
+}
+
+class ByteReader {
+ public:
+  ByteReader(const char* p, std::size_t n) : p_(p), end_(p + n) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p_[i]))
+           << (8 * i);
+    p_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p_[i]))
+           << (8 * i);
+    p_ += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(p_, n);
+    p_ += n;
+    return s;
+  }
+  tensor::Matrix matrix() {
+    const std::uint64_t rows = u64();
+    const std::uint64_t cols = u64();
+    if (rows > (1ull << 24) || cols > (1ull << 24) ||
+        rows * cols > remaining() / 8)
+      throw std::runtime_error("checkpoint: implausible tensor shape " +
+                               std::to_string(rows) + "x" +
+                               std::to_string(cols));
+    tensor::Matrix m(static_cast<std::size_t>(rows),
+                     static_cast<std::size_t>(cols));
+    for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = f64();
+    return m;
+  }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+ private:
+  void need(std::size_t n) {
+    if (remaining() < n)
+      throw std::runtime_error("checkpoint: truncated body");
+  }
+  const char* p_;
+  const char* end_;
+};
+
+/// Serialized architecture + weights + meta: the checksummed body.
+std::string encode_body(const Mlp& net, const CheckpointMeta& meta) {
+  const MlpConfig& cfg = net.config();
+  std::string body;
+  put_str(body, meta.scenario);
+  put_u64(body, meta.model_version);
+
+  put_u64(body, cfg.input_dim);
+  put_u64(body, cfg.output_dim);
+  put_u64(body, cfg.width);
+  put_u64(body, cfg.depth);
+  put_str(body, cfg.activation->name());
+  if (!cfg.encoding ||
+      dynamic_cast<const IdentityEncoding*>(cfg.encoding.get())) {
+    put_u32(body, kEncodingNone);
+  } else if (const auto* fourier =
+                 dynamic_cast<const FourierEncoding*>(cfg.encoding.get())) {
+    put_u32(body, kEncodingFourier);
+    put_matrix(body, fourier->frequencies());
+  } else {
+    throw std::runtime_error(
+        "save_model: unsupported input encoding (only identity and Fourier "
+        "encodings are serializable)");
+  }
+
+  const auto params = net.parameters();
+  put_u64(body, params.size());
+  for (const auto* p : params) put_matrix(body, *p);
+  return body;
+}
+
+struct DecodedBody {
+  CheckpointInfo info;
+  std::vector<tensor::Matrix> tensors;
+};
+
+DecodedBody decode_body(const char* data, std::size_t n) {
+  ByteReader r(data, n);
+  DecodedBody out;
+  out.info.meta.scenario = r.str();
+  out.info.meta.model_version = r.u64();
+
+  MlpConfig& cfg = out.info.config;
+  cfg.input_dim = static_cast<std::size_t>(r.u64());
+  cfg.output_dim = static_cast<std::size_t>(r.u64());
+  cfg.width = static_cast<std::size_t>(r.u64());
+  cfg.depth = static_cast<std::size_t>(r.u64());
+  cfg.activation = &activation_by_name(r.str());
+  const std::uint32_t enc_kind = r.u32();
+  if (enc_kind == kEncodingFourier) {
+    cfg.encoding = std::make_shared<FourierEncoding>(r.matrix());
+  } else if (enc_kind != kEncodingNone) {
+    throw std::runtime_error("checkpoint: unknown encoding kind " +
+                             std::to_string(enc_kind));
+  }
+
+  const std::uint64_t count = r.u64();
+  out.tensors.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t t = 0; t < count; ++t)
+    out.tensors.push_back(r.matrix());
+  if (r.remaining() != 0)
+    throw std::runtime_error("checkpoint: trailing bytes after tensors");
+  return out;
+}
+
+std::string slurp(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("checkpoint: stream read failed");
+  return buf.str();
+}
+
+bool looks_like_v2(const std::string& raw) {
+  return raw.size() >= sizeof(kMagicV2) &&
+         std::memcmp(raw.data(), kMagicV2, sizeof(kMagicV2)) == 0;
+}
+
+/// Verifies magic/version/checksum and returns the body slice.
+std::pair<const char*, std::size_t> checked_body(const std::string& raw) {
+  constexpr std::size_t kPrefix = sizeof(kMagicV2) + 4;  // magic + version
+  constexpr std::size_t kTrailer = 8;                    // checksum
+  if (raw.size() < kPrefix + kTrailer)
+    throw std::runtime_error("checkpoint: truncated header");
+  ByteReader version_reader(raw.data() + sizeof(kMagicV2), 4);
+  const std::uint32_t version = version_reader.u32();
+  if (version != kCheckpointFormatVersion)
+    throw std::runtime_error("checkpoint: unsupported format version " +
+                             std::to_string(version) + " (this build reads " +
+                             std::to_string(kCheckpointFormatVersion) +
+                             " and the legacy v1 text format)");
+  const char* body = raw.data() + kPrefix;
+  const std::size_t body_size = raw.size() - kPrefix - kTrailer;
+  ByteReader trailer_reader(raw.data() + raw.size() - kTrailer, kTrailer);
+  const std::uint64_t stored = trailer_reader.u64();
+  if (fnv1a64(body, body_size) != stored)
+    throw std::runtime_error(
+        "checkpoint: checksum mismatch (truncated or corrupt file)");
+  return {body, body_size};
+}
+
+void write_v2(std::ostream& out, const std::string& body) {
+  std::string file;
+  file.reserve(sizeof(kMagicV2) + 4 + body.size() + 8);
+  file.append(kMagicV2, sizeof(kMagicV2));
+  put_u32(file, kCheckpointFormatVersion);
+  file.append(body);
+  put_u64(file, fnv1a64(body.data(), body.size()));
+  out.write(file.data(), static_cast<std::streamsize>(file.size()));
+  if (!out) throw std::runtime_error("checkpoint: stream write failed");
+}
+
+/// Legacy v1 text parser ("sgm-mlp" header). Parameters only — v1 carries
+/// no architecture, so shapes come from (and are checked against) `net`.
+void load_parameters_v1(Mlp& net, std::istream& in) {
   std::string magic;
   int version = 0;
   std::size_t count = 0;
-  if (!(in >> magic >> version >> count) || magic != kMagic)
-    throw std::runtime_error("load_parameters: not an sgm-mlp checkpoint");
-  if (version != kVersion)
-    throw std::runtime_error("load_parameters: unsupported version " +
+  if (!(in >> magic >> version >> count) || magic != kMagicV1)
+    throw std::runtime_error("load_parameters: not an sgm checkpoint");
+  if (version != 1)
+    throw std::runtime_error("load_parameters: unsupported text version " +
                              std::to_string(version));
   auto params = net.parameters();
   if (count != params.size())
@@ -59,16 +253,96 @@ void load_parameters(Mlp& net, std::istream& in) {
   net.set_parameters(loaded);
 }
 
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Parameter-only API
+// ---------------------------------------------------------------------------
+
+void save_parameters(const Mlp& net, std::ostream& out) {
+  write_v2(out, encode_body(net, CheckpointMeta{}));
+}
+
+void load_parameters(Mlp& net, std::istream& in) {
+  const std::string raw = slurp(in);
+  if (!looks_like_v2(raw)) {
+    std::istringstream text(raw);
+    load_parameters_v1(net, text);
+    return;
+  }
+  const auto [body, body_size] = checked_body(raw);
+  DecodedBody decoded = decode_body(body, body_size);
+  const auto params = net.parameters();
+  if (decoded.tensors.size() != params.size())
+    throw std::runtime_error(
+        "load_parameters: tensor count mismatch (checkpoint " +
+        std::to_string(decoded.tensors.size()) + ", network " +
+        std::to_string(params.size()) + ")");
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    if (!params[t]->same_shape(decoded.tensors[t]))
+      throw std::runtime_error("load_parameters: shape mismatch at tensor " +
+                               std::to_string(t));
+  }
+  net.set_parameters(decoded.tensors);
+}
+
 void save_checkpoint(const Mlp& net, const std::string& path) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
   save_parameters(net, out);
 }
 
 void load_checkpoint(Mlp& net, const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
   load_parameters(net, in);
+}
+
+// ---------------------------------------------------------------------------
+// Full-model API
+// ---------------------------------------------------------------------------
+
+void save_model(const Mlp& net, std::ostream& out,
+                const CheckpointMeta& meta) {
+  write_v2(out, encode_body(net, meta));
+}
+
+void save_model_file(const Mlp& net, const std::string& path,
+                     const CheckpointMeta& meta) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_model_file: cannot open " + path);
+  save_model(net, out, meta);
+}
+
+LoadedModel load_model(std::istream& in) {
+  const std::string raw = slurp(in);
+  if (!looks_like_v2(raw)) {
+    if (raw.compare(0, std::strlen(kMagicV1), kMagicV1) == 0)
+      throw std::runtime_error(
+          "load_model: legacy v1 text checkpoints carry no architecture; "
+          "load them with load_parameters() into a caller-built net");
+    throw std::runtime_error("load_model: not an sgm checkpoint");
+  }
+  const auto [body, body_size] = checked_body(raw);
+  DecodedBody decoded = decode_body(body, body_size);
+
+  LoadedModel out;
+  out.info = decoded.info;
+  out.info.checksum = fnv1a64(body, body_size);
+  util::Rng init_rng(0);  // initialization is immediately overwritten
+  out.model = std::make_unique<Mlp>(out.info.config, init_rng);
+  out.model->set_parameters(decoded.tensors);
+  return out;
+}
+
+LoadedModel load_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_model_file: cannot open " + path);
+  return load_model(in);
+}
+
+CheckpointInfo read_model_info(const std::string& path) {
+  return load_model_file(path).info;
 }
 
 }  // namespace sgm::nn

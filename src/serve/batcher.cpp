@@ -1,0 +1,241 @@
+#include "serve/batcher.hpp"
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+namespace sgm::serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Exception objects must not cross threads. Transporting them through
+// promise::set_exception means the worker can drop the last reference to
+// an exception whose what() buffer a client just read; the refcounting
+// that makes this safe lives inside libstdc++ where TSan cannot see it,
+// and one exception object would be shared by every member of a failed
+// batch besides. The worker records an error *code* + message instead and
+// query() throws a fresh exception on the caller's own thread.
+enum class ErrKind : std::uint8_t {
+  kNone,
+  kOutOfRange,
+  kInvalidArgument,
+  kRuntime,
+};
+
+}  // namespace
+
+struct InferenceBatcher::Pending {
+  std::string scenario;
+  std::vector<double> x;
+  struct Outcome {
+    Response resp;
+    ErrKind err = ErrKind::kNone;
+    std::string message;
+  };
+  std::promise<Outcome> promise;
+  util::WallTimer since_enqueue;  ///< feeds query_latency
+  Clock::time_point deadline;     ///< enqueue time + max_delay_s
+
+  void fulfill(Response resp) {
+    Outcome out;
+    out.resp = std::move(resp);
+    promise.set_value(std::move(out));
+  }
+  void fail(ErrKind kind, std::string message) {
+    Outcome out;
+    out.err = kind;
+    out.message = std::move(message);
+    promise.set_value(std::move(out));
+  }
+};
+
+InferenceBatcher::InferenceBatcher(ModelRegistry& registry, BatcherOptions opt,
+                                   ServeMetrics* metrics)
+    : registry_(registry), opt_(opt), metrics_(metrics) {
+  if (opt_.max_batch == 0)
+    throw std::invalid_argument("InferenceBatcher: max_batch must be >= 1");
+  if (opt_.num_workers == 0)
+    throw std::invalid_argument("InferenceBatcher: num_workers must be >= 1");
+  workers_.reserve(opt_.num_workers);
+  for (std::size_t i = 0; i < opt_.num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+InferenceBatcher::~InferenceBatcher() { stop(); }
+
+InferenceBatcher::Response InferenceBatcher::query(const std::string& scenario,
+                                                   std::vector<double> x) {
+  auto pending = std::make_unique<Pending>();
+  pending->scenario = scenario;
+  pending->x = std::move(x);
+  pending->deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opt_.max_delay_s));
+  std::future<Pending::Outcome> fut = pending->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_)
+      throw std::runtime_error("InferenceBatcher: query after stop()");
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  Pending::Outcome out = fut.get();
+  switch (out.err) {  // worker errors rethrow here, on the caller's thread
+    case ErrKind::kNone:
+      return std::move(out.resp);
+    case ErrKind::kOutOfRange:
+      throw std::out_of_range(out.message);
+    case ErrKind::kInvalidArgument:
+      throw std::invalid_argument(out.message);
+    case ErrKind::kRuntime:
+      break;
+  }
+  throw std::runtime_error(out.message);
+}
+
+void InferenceBatcher::worker_loop() {
+  std::vector<std::unique_ptr<Pending>> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // stop() answers whatever is still queued
+
+      // Coalesce every pending request for the scenario at the head of the
+      // queue; requests for other scenarios keep their queue order and are
+      // picked up by the next batch.
+      const std::string scenario = queue_.front()->scenario;
+      const Clock::time_point deadline = queue_.front()->deadline;
+      const auto collect = [&] {
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch.size() < opt_.max_batch;) {
+          if ((*it)->scenario == scenario) {
+            batch.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      };
+      collect();
+      // Deadline flush: a partial batch waits for stragglers only until the
+      // oldest member's deadline, bounding tail latency at low load.
+      while (batch.size() < opt_.max_batch && !stop_) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+          collect();
+          break;
+        }
+        collect();
+      }
+    }
+    if (metrics_ && !batch.empty()) {
+      metrics_->batches_total.fetch_add(1, std::memory_order_relaxed);
+      if (batch.size() >= opt_.max_batch)
+        metrics_->full_flushes_total.fetch_add(1, std::memory_order_relaxed);
+      else
+        metrics_->deadline_flushes_total.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+    serve_batch(std::move(batch));
+  }
+}
+
+void InferenceBatcher::serve_batch(
+    std::vector<std::unique_ptr<Pending>> batch) {
+  if (batch.empty()) return;
+
+  // One acquire per batch: every response below carries this version.
+  ServedModelPtr served;
+  try {
+    served = registry_.acquire(batch.front()->scenario);
+  } catch (const std::exception& e) {
+    if (metrics_)
+      metrics_->query_errors_total.fetch_add(batch.size(),
+                                             std::memory_order_relaxed);
+    const ErrKind kind = dynamic_cast<const std::out_of_range*>(&e)
+                             ? ErrKind::kOutOfRange
+                             : ErrKind::kRuntime;
+    for (auto& p : batch) p->fail(kind, e.what());
+    return;
+  }
+  const nn::Mlp& net = *served->model;
+  const std::size_t in_dim = net.config().input_dim;
+  const std::size_t out_dim = net.config().output_dim;
+
+  // Per-worker pooled buffers (thread_local: serve_batch only runs on
+  // worker threads, and each worker reuses its own capacity run-to-run).
+  thread_local tensor::Matrix xb, yb;
+  thread_local nn::Mlp::ForwardWorkspace ws;
+
+  std::vector<Pending*> valid;
+  valid.reserve(batch.size());
+  for (auto& p : batch) {
+    if (p->x.size() == in_dim) {
+      valid.push_back(p.get());
+      continue;
+    }
+    if (metrics_)
+      metrics_->query_errors_total.fetch_add(1, std::memory_order_relaxed);
+    p->fail(ErrKind::kInvalidArgument,
+            "InferenceBatcher: query width " + std::to_string(p->x.size()) +
+                " != input_dim " + std::to_string(in_dim));
+  }
+  if (valid.empty()) return;
+
+  xb.resize(valid.size(), in_dim);
+  for (std::size_t r = 0; r < valid.size(); ++r) {
+    double* row = xb.row(r);
+    for (std::size_t c = 0; c < in_dim; ++c) row[c] = valid[r]->x[c];
+  }
+  try {
+    net.forward_batched(xb, yb, ws, opt_.num_threads);
+  } catch (const std::exception& e) {
+    if (metrics_)
+      metrics_->query_errors_total.fetch_add(valid.size(),
+                                             std::memory_order_relaxed);
+    for (Pending* p : valid) p->fail(ErrKind::kRuntime, e.what());
+    return;
+  }
+
+  // Counters first, fulfillment second: a client that has its response in
+  // hand must already be visible in the metrics (set_value unblocks the
+  // caller immediately, so anything after it races with the client).
+  if (metrics_) {
+    metrics_->batched_queries_total.fetch_add(valid.size(),
+                                              std::memory_order_relaxed);
+    metrics_->queries_total.fetch_add(valid.size(),
+                                      std::memory_order_relaxed);
+  }
+  for (std::size_t r = 0; r < valid.size(); ++r) {
+    Response resp;
+    resp.y.assign(yb.row(r), yb.row(r) + out_dim);
+    resp.version = served->info.meta.model_version;
+    resp.checksum = served->info.checksum;
+    if (metrics_)
+      metrics_->query_latency.record(valid[r]->since_enqueue.elapsed_s());
+    valid[r]->fulfill(std::move(resp));
+  }
+}
+
+void InferenceBatcher::stop() {
+  std::deque<std::unique_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    orphans.swap(queue_);
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  for (auto& p : orphans) {
+    p->fail(ErrKind::kRuntime, "InferenceBatcher: stopped before serving");
+  }
+}
+
+}  // namespace sgm::serve

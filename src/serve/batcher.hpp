@@ -1,0 +1,88 @@
+#pragma once
+// Batched inference engine: coalesces concurrent queries into one blocked-
+// GEMM forward.
+//
+// Requests enter a shared queue; a worker drains every pending request for
+// the scenario at the head of the queue (up to max_batch), stacks their
+// inputs into one matrix and runs a single Mlp::forward_batched over it.
+// Partial batches wait at most max_delay_s past the oldest request's
+// arrival (deadline flush), so tail latency is bounded even at low load.
+//
+// Determinism / attribution contract (pinned by tests/test_serve.cpp):
+//  * each response row is bitwise identical to what a lone
+//    net.forward(single_row) would return — batching and the worker's
+//    thread count never change the numbers (GEMM row independence);
+//  * a batch acquires its model exactly once; every response carries the
+//    version (and checksum) of that one acquire, so under concurrent
+//    hot-swaps each response is attributable to exactly one published
+//    version — never a torn mix.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "serve/metrics.hpp"
+#include "serve/model_registry.hpp"
+#include "util/timer.hpp"
+
+namespace sgm::serve {
+
+struct BatcherOptions {
+  std::size_t max_batch = 64;    ///< coalesce at most this many queries
+  double max_delay_s = 200e-6;   ///< deadline flush for partial batches
+  std::size_t num_threads = 1;   ///< row-parallel forward threads (0 = auto)
+  std::size_t num_workers = 1;   ///< batch-assembly worker threads
+};
+
+class InferenceBatcher {
+ public:
+  /// Spawns the workers. `metrics` may be null (bench/tests often pass one).
+  InferenceBatcher(ModelRegistry& registry, BatcherOptions opt,
+                   ServeMetrics* metrics = nullptr);
+  ~InferenceBatcher();
+
+  InferenceBatcher(const InferenceBatcher&) = delete;
+  InferenceBatcher& operator=(const InferenceBatcher&) = delete;
+
+  struct Response {
+    std::vector<double> y;        ///< output_dim values
+    std::uint64_t version = 0;    ///< the one model version that answered
+    std::uint64_t checksum = 0;   ///< its payload checksum
+  };
+
+  /// Blocking: enqueues, waits for the coalesced forward, returns the row.
+  /// Throws std::out_of_range for unpublished scenarios,
+  /// std::invalid_argument for wrong input width, std::runtime_error after
+  /// stop(). Worker-side failures travel as an error code + message and are
+  /// rethrown here as fresh exceptions — exception objects never cross
+  /// threads (their libstdc++-internal refcounting is opaque to TSan, and a
+  /// failed batch would otherwise share one object across all its callers).
+  Response query(const std::string& scenario, std::vector<double> x);
+
+  /// Drains the queue (pending requests fail with std::runtime_error) and
+  /// joins the workers. Idempotent; also called by the destructor.
+  void stop();
+
+ private:
+  struct Pending;
+  void worker_loop();
+  void serve_batch(std::vector<std::unique_ptr<Pending>> batch);
+
+  ModelRegistry& registry_;
+  BatcherOptions opt_;
+  ServeMetrics* metrics_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sgm::serve

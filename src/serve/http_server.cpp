@@ -1,0 +1,339 @@
+#include "serve/http_server.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace sgm::serve {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiny JSON helpers — exactly the two shapes the /v1/query body uses. No
+// escape sequences (scenario names are [A-Za-z0-9._-]) and no nesting.
+// ---------------------------------------------------------------------------
+
+std::size_t find_key(const std::string& body, const std::string& key) {
+  const std::string quoted = "\"" + key + "\"";
+  std::size_t pos = body.find(quoted);
+  if (pos == std::string::npos) return std::string::npos;
+  pos += quoted.size();
+  while (pos < body.size() &&
+         (std::isspace(static_cast<unsigned char>(body[pos])) ||
+          body[pos] == ':'))
+    ++pos;
+  return pos;
+}
+
+bool json_string_field(const std::string& body, const std::string& key,
+                       std::string& out) {
+  std::size_t pos = find_key(body, key);
+  if (pos == std::string::npos || pos >= body.size() || body[pos] != '"')
+    return false;
+  const std::size_t end = body.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = body.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+bool json_number_array(const std::string& body, const std::string& key,
+                       std::vector<double>& out) {
+  std::size_t pos = find_key(body, key);
+  if (pos == std::string::npos || pos >= body.size() || body[pos] != '[')
+    return false;
+  out.clear();
+  ++pos;
+  while (pos < body.size()) {
+    while (pos < body.size() &&
+           (std::isspace(static_cast<unsigned char>(body[pos])) ||
+            body[pos] == ','))
+      ++pos;
+    if (pos >= body.size()) return false;
+    if (body[pos] == ']') return true;
+    char* parse_end = nullptr;
+    const double v = std::strtod(body.c_str() + pos, &parse_end);
+    if (parse_end == body.c_str() + pos) return false;
+    out.push_back(v);
+    pos = static_cast<std::size_t>(parse_end - body.c_str());
+  }
+  return false;
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+std::string json_error(const std::string& message) {
+  return "{\"error\": \"" + message + "\"}\n";
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------------
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string make_response(int status, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    status_text(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: keep-alive\r\n\r\n";
+  out += body;
+  return out;
+}
+
+bool iequals(const std::string& a, const char* b) {
+  std::size_t i = 0;
+  for (; i < a.size() && b[i]; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+struct HttpRequest {
+  std::string method, target, body;
+  bool keep_alive = true;
+  std::size_t content_length = 0;
+};
+
+/// Parses the head (request line + headers) out of `buf`; returns the body
+/// offset or npos when the head is incomplete.
+std::size_t parse_head(const std::string& buf, HttpRequest& req) {
+  const std::size_t head_end = buf.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::string::npos;
+
+  std::size_t line_end = buf.find("\r\n");
+  const std::string line = buf.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos)
+    throw std::runtime_error("malformed request line");
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    const std::size_t eol = buf.find("\r\n", pos);
+    const std::string header = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = header.substr(0, colon);
+    std::string value = header.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    if (iequals(name, "content-length"))
+      req.content_length = static_cast<std::size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    else if (iequals(name, "connection") && iequals(value, "close"))
+      req.keep_alive = false;
+  }
+  return head_end + 4;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ModelRegistry& registry, InferenceBatcher& batcher,
+                       ServeMetrics& metrics, HttpServerOptions opt)
+    : registry_(registry),
+      batcher_(batcher),
+      metrics_(metrics),
+      opt_(opt),
+      listener_(opt.port) {
+  if (opt_.num_workers == 0)
+    throw std::invalid_argument("HttpServer: num_workers must be >= 1");
+  handlers_.reserve(opt_.num_workers);
+  for (std::size_t i = 0; i < opt_.num_workers; ++i)
+    handlers_.emplace_back([this] { handler_loop(); });
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  listener_.close();
+  cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& h : handlers_) {
+    if (h.joinable()) h.join();
+  }
+  handlers_.clear();
+}
+
+void HttpServer::acceptor_loop() {
+  while (true) {
+    util::TcpSocket conn = listener_.accept();
+    if (!conn.valid()) return;  // listener closed => shutting down
+    conn.set_nodelay(true);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      conn_queue_.push_back(std::move(conn));
+    }
+    cv_.notify_one();
+  }
+}
+
+void HttpServer::handler_loop() {
+  while (true) {
+    util::TcpSocket conn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !conn_queue_.empty(); });
+      if (stop_) return;
+      conn = std::move(conn_queue_.front());
+      conn_queue_.pop_front();
+    }
+    // Keep-alive loop: serve requests until the peer closes, errors, the
+    // idle timeout passes, or the server stops.
+    while (handle_connection(conn)) {
+    }
+  }
+}
+
+bool HttpServer::handle_connection(util::TcpSocket& conn) {
+  // Poll in short slices so a stop() is honored promptly even while a
+  // keep-alive peer is idle.
+  std::string buf;
+  HttpRequest req;
+  std::size_t body_offset = std::string::npos;
+  double idle_s = 0.0;
+  char chunk[4096];
+  while (true) {
+    pollfd pfd{conn.fd(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return false;
+    }
+    if (rc == 0) {
+      idle_s += 0.1;
+      if (idle_s >= opt_.recv_timeout_s) return false;
+      continue;
+    }
+    if (rc < 0) return false;
+    const long n = conn.read_some(chunk, sizeof(chunk));
+    if (n <= 0) return false;  // peer closed or error
+    idle_s = 0.0;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() > opt_.max_body_bytes) {
+      conn.write_all(make_response(413, "text/plain", "body too large\n"));
+      return false;
+    }
+    if (body_offset == std::string::npos) {
+      try {
+        body_offset = parse_head(buf, req);
+      } catch (const std::exception&) {
+        conn.write_all(make_response(400, "text/plain", "bad request\n"));
+        return false;
+      }
+    }
+    if (body_offset != std::string::npos &&
+        buf.size() >= body_offset + req.content_length)
+      break;
+  }
+  req.body = buf.substr(body_offset, req.content_length);
+
+  util::WallTimer timer;
+  int status = 200;
+  std::string body = route(req.method, req.target, req.body, status);
+  metrics_.http_requests_total.fetch_add(1, std::memory_order_relaxed);
+  if (status >= 400)
+    metrics_.http_errors_total.fetch_add(1, std::memory_order_relaxed);
+  metrics_.http_latency.record(timer.elapsed_s());
+
+  const bool is_json = !body.empty() && (body[0] == '{' || body[0] == '[');
+  const char* content_type = is_json ? "application/json" : "text/plain";
+  if (!conn.write_all(make_response(status, content_type, body)))
+    return false;
+  return req.keep_alive;
+}
+
+std::string HttpServer::route(const std::string& method,
+                              const std::string& target,
+                              const std::string& body, int& status) {
+  if (target == "/healthz") {
+    return "ok\n";
+  }
+  if (target == "/metrics") {
+    return metrics_.render();
+  }
+  if (target == "/v1/models") {
+    std::string out = "[";
+    bool first = true;
+    for (const ModelInfo& info : registry_.list()) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"scenario\": \"" + info.scenario + "\", \"version\": " +
+             std::to_string(info.version) + ", \"resident\": " +
+             (info.resident ? "true" : "false") + ", \"pinned\": " +
+             (info.pinned ? "true" : "false") + "}";
+    }
+    out += "]\n";
+    return out;
+  }
+  if (target == "/v1/query") {
+    if (method != "POST") {
+      status = 405;
+      return json_error("POST required");
+    }
+    std::string scenario;
+    std::vector<double> x;
+    if (!json_string_field(body, "scenario", scenario) ||
+        !json_number_array(body, "x", x)) {
+      status = 400;
+      return json_error(
+          "body must be {\"scenario\": \"<name>\", \"x\": [..]}");
+    }
+    try {
+      InferenceBatcher::Response resp =
+          batcher_.query(scenario, std::move(x));
+      std::string out = "{\"scenario\": \"" + scenario + "\", \"version\": " +
+                        std::to_string(resp.version) + ", \"y\": [";
+      for (std::size_t i = 0; i < resp.y.size(); ++i) {
+        if (i) out += ", ";
+        append_f64(out, resp.y[i]);
+      }
+      out += "]}\n";
+      return out;
+    } catch (const std::out_of_range& e) {
+      status = 404;
+      return json_error(e.what());
+    } catch (const std::invalid_argument& e) {
+      status = 400;
+      return json_error(e.what());
+    } catch (const std::exception& e) {
+      status = 503;
+      return json_error(e.what());
+    }
+  }
+  status = 404;
+  return json_error("no such endpoint: " + target);
+}
+
+}  // namespace sgm::serve

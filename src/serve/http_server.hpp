@@ -1,0 +1,82 @@
+#pragma once
+// Minimal HTTP/1.1 front end for the surrogate serving engine.
+//
+// Architecture: one acceptor thread pushes connections onto a queue; a
+// fixed pool of handler threads serves them with blocking reads/writes and
+// keep-alive (connection-per-thread — request concurrency is aggregated by
+// the InferenceBatcher behind it, not by socket multiplexing). In the
+// spirit of GraphLab's in-process metrics_server: a tiny embedded endpoint,
+// not a general web server.
+//
+// Routes:
+//   POST /v1/query   {"scenario": "<name>", "x": [..]}
+//                 -> {"scenario": "...", "version": N, "y": [..]}
+//   GET  /v1/models  JSON array of {scenario, version, resident, pinned}
+//   GET  /healthz    "ok"
+//   GET  /metrics    Prometheus text exposition (ServeMetrics::render)
+//
+// Doubles in responses are printed with %.17g, so a served prediction
+// round-trips the text layer bit-exactly (same contract as the telemetry
+// CSVs).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/model_registry.hpp"
+#include "util/socket.hpp"
+
+namespace sgm::serve {
+
+struct HttpServerOptions {
+  std::uint16_t port = 0;        ///< 0 = ephemeral (read back via port())
+  std::size_t num_workers = 4;   ///< connection handler threads
+  double recv_timeout_s = 10.0;  ///< idle keep-alive cutoff
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+class HttpServer {
+ public:
+  /// Binds immediately (so port() is valid) and spawns the threads.
+  HttpServer(ModelRegistry& registry, InferenceBatcher& batcher,
+             ServeMetrics& metrics, HttpServerOptions opt = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting, wakes the handlers and joins all threads. In-flight
+  /// requests finish; idle keep-alive connections are dropped. Idempotent.
+  void stop();
+
+ private:
+  void acceptor_loop();
+  void handler_loop();
+  bool handle_connection(util::TcpSocket& conn);
+
+  std::string route(const std::string& method, const std::string& target,
+                    const std::string& body, int& status);
+
+  ModelRegistry& registry_;
+  InferenceBatcher& batcher_;
+  ServeMetrics& metrics_;
+  HttpServerOptions opt_;
+
+  util::TcpListener listener_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<util::TcpSocket> conn_queue_;
+  bool stop_ = false;
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace sgm::serve

@@ -1,0 +1,60 @@
+#include "serve/metrics.hpp"
+
+#include <cstdio>
+
+namespace sgm::serve {
+
+namespace {
+
+void append_counter(std::string& out, const char* name, std::uint64_t v) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %llu\n", name,
+                name, static_cast<unsigned long long>(v));
+  out += line;
+}
+
+void append_summary(std::string& out, const char* name,
+                    const util::HistogramSnapshot& snap) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "# TYPE %s summary\n", name);
+  out += line;
+  for (double q : {0.5, 0.99, 0.999}) {
+    std::snprintf(line, sizeof(line), "%s{quantile=\"%g\"} %.9g\n", name, q,
+                  snap.quantile(q));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%s_sum %.9g\n%s_count %llu\n", name,
+                static_cast<double>(snap.sum_ns) * 1e-9, name,
+                static_cast<unsigned long long>(snap.total));
+  out += line;
+}
+
+}  // namespace
+
+std::string ServeMetrics::render() const {
+  std::string out;
+  out.reserve(2048);
+  append_counter(out, "sgm_serve_http_requests_total",
+                 http_requests_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_serve_http_errors_total",
+                 http_errors_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_serve_queries_total",
+                 queries_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_serve_query_errors_total",
+                 query_errors_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_serve_batches_total",
+                 batches_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_serve_batched_queries_total",
+                 batched_queries_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_serve_full_flushes_total",
+                 full_flushes_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_serve_deadline_flushes_total",
+                 deadline_flushes_total.load(std::memory_order_relaxed));
+  append_summary(out, "sgm_serve_http_latency_seconds",
+                 http_latency.snapshot());
+  append_summary(out, "sgm_serve_query_latency_seconds",
+                 query_latency.snapshot());
+  return out;
+}
+
+}  // namespace sgm::serve

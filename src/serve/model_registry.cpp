@@ -1,0 +1,230 @@
+#include "serve/model_registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace sgm::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void check_scenario_name(const std::string& scenario) {
+  if (scenario.empty())
+    throw std::invalid_argument("ModelRegistry: empty scenario name");
+  for (const char c : scenario) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == '-' || c == '.';
+    if (!ok)
+      throw std::invalid_argument(
+          "ModelRegistry: scenario name '" + scenario +
+          "' contains characters outside [A-Za-z0-9._-]");
+  }
+  if (scenario[0] == '.')
+    throw std::invalid_argument("ModelRegistry: scenario name '" + scenario +
+                                "' may not start with '.'");
+}
+
+/// Parses "v<N>.ckpt" -> N; 0 when the name does not match.
+std::uint64_t parse_version_filename(const std::string& name) {
+  if (name.size() < 7 || name[0] != 'v' ||
+      name.compare(name.size() - 5, 5, ".ckpt") != 0)
+    return 0;
+  std::uint64_t v = 0;
+  for (std::size_t i = 1; i + 5 < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return 0;
+    v = v * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::string root, RegistryOptions opt)
+    : root_(std::move(root)), opt_(opt) {
+  if (opt_.cache_capacity == 0)
+    throw std::invalid_argument("ModelRegistry: cache_capacity must be >= 1");
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec)
+    throw std::runtime_error("ModelRegistry: cannot create root '" + root_ +
+                             "': " + ec.message());
+}
+
+std::string ModelRegistry::scenario_dir(const std::string& scenario) const {
+  return root_ + "/" + scenario;
+}
+
+std::string ModelRegistry::checkpoint_path(const std::string& scenario,
+                                           std::uint64_t version) const {
+  return scenario_dir(scenario) + "/v" + std::to_string(version) + ".ckpt";
+}
+
+std::uint64_t ModelRegistry::latest_version_on_disk(
+    const std::string& scenario) const {
+  std::error_code ec;
+  std::uint64_t latest = 0;
+  for (const auto& entry :
+       fs::directory_iterator(scenario_dir(scenario), ec)) {
+    latest = std::max(latest,
+                      parse_version_filename(entry.path().filename().string()));
+  }
+  return latest;  // 0 when the directory is missing or holds no checkpoints
+}
+
+ServedModelPtr ModelRegistry::load_version(const std::string& scenario,
+                                           std::uint64_t version) {
+  nn::LoadedModel loaded =
+      nn::load_model_file(checkpoint_path(scenario, version));
+  if (loaded.info.meta.scenario != scenario)
+    throw std::runtime_error("ModelRegistry: checkpoint for '" + scenario +
+                             "' names scenario '" +
+                             loaded.info.meta.scenario + "'");
+  if (loaded.info.meta.model_version != version)
+    throw std::runtime_error(
+        "ModelRegistry: checkpoint v" + std::to_string(version) +
+        " header says version " +
+        std::to_string(loaded.info.meta.model_version));
+  auto served = std::make_shared<ServedModel>();
+  served->info = loaded.info;
+  served->model = std::move(loaded.model);
+  ++stats_.loads;
+  return served;
+}
+
+void ModelRegistry::evict_if_over_capacity() {
+  while (cache_.size() > opt_.cache_capacity) {
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.pinned) continue;
+      if (victim == cache_.end() ||
+          it->second.last_used < victim->second.last_used)
+        victim = it;
+    }
+    if (victim == cache_.end()) return;  // everything pinned: overflow
+    cache_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& scenario,
+                                     const nn::Mlp& net) {
+  check_scenario_name(scenario);
+  std::lock_guard<std::mutex> lock(mu_);
+
+  std::error_code ec;
+  fs::create_directories(scenario_dir(scenario), ec);
+  if (ec)
+    throw std::runtime_error("ModelRegistry: cannot create '" +
+                             scenario_dir(scenario) + "': " + ec.message());
+
+  const std::uint64_t version = latest_version_on_disk(scenario) + 1;
+  nn::CheckpointMeta meta;
+  meta.scenario = scenario;
+  meta.model_version = version;
+
+  // Atomic publish: full write to a temp name in the same directory, then
+  // rename over the final name. Readers either see the old directory state
+  // or the complete new checkpoint, never a partial file.
+  const std::string final_path = checkpoint_path(scenario, version);
+  const std::string tmp_path = final_path + ".tmp";
+  nn::save_model_file(net, tmp_path, meta);
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("ModelRegistry: rename to '" + final_path +
+                             "' failed");
+  }
+  ++stats_.publishes;
+
+  // Hot-swap: a resident entry flips to the new version immediately (the
+  // published file is the authoritative copy, so reload it rather than
+  // trusting the caller's net to stay untouched). Non-resident scenarios
+  // load lazily on their next acquire().
+  if (auto it = cache_.find(scenario); it != cache_.end())
+    it->second.model = load_version(scenario, version);
+  return version;
+}
+
+ServedModelPtr ModelRegistry::acquire(const std::string& scenario) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = cache_.find(scenario); it != cache_.end()) {
+    ++stats_.hits;
+    it->second.last_used = ++tick_;
+    return it->second.model;
+  }
+  const std::uint64_t version = latest_version_on_disk(scenario);
+  if (version == 0)
+    throw std::out_of_range("ModelRegistry: no published checkpoint for '" +
+                            scenario + "'");
+  ++stats_.misses;
+  Entry entry;
+  entry.model = load_version(scenario, version);
+  entry.last_used = ++tick_;
+  auto ptr = entry.model;
+  cache_[scenario] = std::move(entry);
+  evict_if_over_capacity();
+  return ptr;
+}
+
+void ModelRegistry::pin(const std::string& scenario) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(scenario);
+  if (it == cache_.end()) {
+    const std::uint64_t version = latest_version_on_disk(scenario);
+    if (version == 0)
+      throw std::out_of_range("ModelRegistry: no published checkpoint for '" +
+                              scenario + "'");
+    ++stats_.misses;
+    Entry entry;
+    entry.model = load_version(scenario, version);
+    entry.last_used = ++tick_;
+    it = cache_.emplace(scenario, std::move(entry)).first;
+  }
+  it->second.pinned = true;
+  evict_if_over_capacity();
+}
+
+void ModelRegistry::unpin(const std::string& scenario) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = cache_.find(scenario); it != cache_.end())
+    it->second.pinned = false;
+  evict_if_over_capacity();
+}
+
+std::vector<ModelInfo> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, ModelInfo> infos;
+  std::error_code ec;
+  for (const auto& dir : fs::directory_iterator(root_, ec)) {
+    if (!dir.is_directory()) continue;
+    const std::string scenario = dir.path().filename().string();
+    ModelInfo info;
+    info.scenario = scenario;
+    info.version = latest_version_on_disk(scenario);
+    if (info.version == 0) continue;
+    infos[scenario] = info;
+  }
+  for (const auto& [scenario, entry] : cache_) {
+    ModelInfo& info = infos[scenario];
+    info.scenario = scenario;
+    info.resident = true;
+    info.pinned = entry.pinned;
+    info.checksum = entry.model->info.checksum;
+    info.version = std::max(info.version, entry.model->info.meta.model_version);
+  }
+  std::vector<ModelInfo> out;
+  out.reserve(infos.size());
+  for (auto& [scenario, info] : infos) out.push_back(std::move(info));
+  return out;
+}
+
+RegistryStats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sgm::serve

@@ -1,0 +1,118 @@
+#pragma once
+// Versioned model registry — the serving engine's source of truth for which
+// network answers a scenario's queries.
+//
+// On disk, every publish writes one immutable checkpoint
+//     <root>/<scenario>/v<N>.ckpt        (nn/serialize v2 binary: header
+//                                         with scenario name, MlpConfig,
+//                                         version N, payload checksum)
+// via a temp-file + rename, so a concurrent loader can never observe a
+// half-written checkpoint and a crashed publisher leaves at most a stale
+// temp file. Versions are monotonically increasing per scenario; old
+// versions stay on disk (they are the rollback story).
+//
+// In memory, a load-on-demand LRU cache holds the resident models:
+//  * acquire() returns a shared_ptr<const ServedModel> — an immutable
+//    (model, version, checksum) triple. Holding the pointer is what makes
+//    responses attributable: whatever the publisher does, the batch you are
+//    serving keeps exactly the version you acquired (no torn reads).
+//  * publish() hot-swaps the resident entry atomically under the registry
+//    mutex: the next acquire() sees the new version, in-flight batches
+//    finish on the old one, which dies with its last shared_ptr.
+//  * pin() marks a scenario immune to LRU eviction (and loads it if
+//    needed); unpin() returns it to the LRU pool. Eviction only ever drops
+//    the registry's own reference.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/serialize.hpp"
+
+namespace sgm::serve {
+
+struct RegistryOptions {
+  /// Maximum resident models. Unpinned entries beyond this are evicted
+  /// least-recently-acquired first; pinned entries count toward the limit
+  /// but are never evicted (so all-pinned registries may exceed it).
+  std::size_t cache_capacity = 8;
+};
+
+/// Immutable once published; shared by every in-flight batch on it.
+struct ServedModel {
+  nn::CheckpointInfo info;  ///< scenario, version, checksum, architecture
+  std::unique_ptr<const nn::Mlp> model;
+};
+using ServedModelPtr = std::shared_ptr<const ServedModel>;
+
+struct ModelInfo {
+  std::string scenario;
+  std::uint64_t version = 0;   ///< latest on disk
+  std::uint64_t checksum = 0;  ///< 0 unless resident
+  bool resident = false;
+  bool pinned = false;
+};
+
+struct RegistryStats {
+  std::uint64_t hits = 0;        ///< acquire() served from cache
+  std::uint64_t misses = 0;      ///< acquire() had to load from disk
+  std::uint64_t loads = 0;       ///< checkpoint files read (misses + swaps)
+  std::uint64_t evictions = 0;
+  std::uint64_t publishes = 0;
+};
+
+class ModelRegistry {
+ public:
+  /// `root` is created if absent. Throws std::runtime_error when the
+  /// directory cannot be created.
+  explicit ModelRegistry(std::string root, RegistryOptions opt = {});
+
+  /// Publishes `net` as the next version of `scenario` (atomic write +
+  /// resident hot-swap). Returns the new version number. Scenario names are
+  /// restricted to [A-Za-z0-9._-] (they become directory names).
+  std::uint64_t publish(const std::string& scenario, const nn::Mlp& net);
+
+  /// Latest published version, loading (and caching) on demand. Throws
+  /// std::out_of_range when the scenario has never been published.
+  ServedModelPtr acquire(const std::string& scenario);
+
+  /// Loads (if needed) and protects `scenario` from eviction.
+  void pin(const std::string& scenario);
+  void unpin(const std::string& scenario);
+
+  /// Disk ∪ cache view, sorted by scenario name.
+  std::vector<ModelInfo> list() const;
+
+  RegistryStats stats() const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  struct Entry {
+    ServedModelPtr model;
+    bool pinned = false;
+    std::uint64_t last_used = 0;  ///< LRU tick of the last acquire
+  };
+
+  // All private helpers assume mu_ is held.
+  std::string scenario_dir(const std::string& scenario) const;
+  std::string checkpoint_path(const std::string& scenario,
+                              std::uint64_t version) const;
+  std::uint64_t latest_version_on_disk(const std::string& scenario) const;
+  ServedModelPtr load_version(const std::string& scenario,
+                              std::uint64_t version);
+  void evict_if_over_capacity();
+
+  std::string root_;
+  RegistryOptions opt_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> cache_;
+  std::uint64_t tick_ = 0;
+  RegistryStats stats_;
+};
+
+}  // namespace sgm::serve

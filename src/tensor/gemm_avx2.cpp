@@ -10,6 +10,13 @@
 // anchored at absolute row multiples of 4 (the row-chunk grain is a
 // multiple of the tile height), so results are bitwise identical however
 // the row range is split across threads.
+//
+// The scalar edge loops accumulate with std::fma (one vfmadd*sd here, since
+// this TU is compiled with -mfma) so that every element rounds exactly like
+// the fused vector tiles: an element's value must not depend on whether its
+// row landed in a full tile or an edge. A 1-row matrix is all edge; the same
+// row inside a 33-row batch is tiled — the serving engine's batched == single
+// equivalence tests (tests/test_serve.cpp) pin that both agree bitwise.
 
 #include "tensor/gemm_dispatch.hpp"
 
@@ -26,6 +33,8 @@ bool gemm_avx2_compiled() {
 #ifdef SGM_GEMM_AVX2_BUILD
 
 #include <immintrin.h>
+
+#include <cmath>
 
 namespace sgm::tensor::gemm_avx2 {
 
@@ -89,11 +98,12 @@ void gemm_nn_range(const Matrix& a, const Matrix& b, Matrix& c,
       store_vec(c.row(i + 2) + j, c20, c21, accumulate);
       store_vec(c.row(i + 3) + j, c30, c31, accumulate);
     }
-    for (; j < n; ++j) {  // column edge, p-ascending per element
+    for (; j < n; ++j) {  // column edge, p-ascending fused per element
       const double* ar[kMR] = {a0, a1, a2, a3};
       for (std::size_t ii = 0; ii < kMR; ++ii) {
         double s = 0.0;
-        for (std::size_t p = 0; p < k; ++p) s += ar[ii][p] * b.row(p)[j];
+        for (std::size_t p = 0; p < k; ++p)
+          s = std::fma(ar[ii][p], b.row(p)[j], s);
         store_scalar(&c(i + ii, j), s, accumulate);
       }
     }
@@ -102,7 +112,8 @@ void gemm_nn_range(const Matrix& a, const Matrix& b, Matrix& c,
     const double* arow = a.row(i);
     for (std::size_t j = 0; j < n; ++j) {
       double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += arow[p] * b.row(p)[j];
+      for (std::size_t p = 0; p < k; ++p)
+        s = std::fma(arow[p], b.row(p)[j], s);
       store_scalar(&c(i, j), s, accumulate);
     }
   }
@@ -145,7 +156,8 @@ void gemm_tn_range(const Matrix& a, const Matrix& b, Matrix& c,
     for (; j < n; ++j) {
       for (std::size_t ii = 0; ii < kMR; ++ii) {
         double s = 0.0;
-        for (std::size_t p = 0; p < k; ++p) s += a.row(p)[i + ii] * b.row(p)[j];
+        for (std::size_t p = 0; p < k; ++p)
+          s = std::fma(a.row(p)[i + ii], b.row(p)[j], s);
         store_scalar(&c(i + ii, j), s, accumulate);
       }
     }
@@ -153,7 +165,8 @@ void gemm_tn_range(const Matrix& a, const Matrix& b, Matrix& c,
   for (; i < r1; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += a.row(p)[i] * b.row(p)[j];
+      for (std::size_t p = 0; p < k; ++p)
+        s = std::fma(a.row(p)[i], b.row(p)[j], s);
       store_scalar(&c(i, j), s, accumulate);
     }
   }

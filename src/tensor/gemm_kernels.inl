@@ -9,6 +9,14 @@
 // the row range across threads. Within ONE process a single kernel build is
 // selected once, so thread count never changes which code runs.
 //
+// Ascending order alone is not enough: each accumulation step must also
+// ROUND identically in every path, so the kernel translation units are
+// compiled with -ffp-contract=off (see CMakeLists.txt). Otherwise the
+// compiler fuses mul+add into FMA in the vectorized tile loops but not in
+// the scalar edge loops, and a row's result changes with its position in
+// the tiling — which the serving engine's batched-vs-single equivalence
+// tests (tests/test_serve.cpp) would catch.
+//
 // Tile shape: kMR x kNR accumulators held in registers while the reduction
 // dimension streams through. 4 x 8 doubles = 8 ymm registers under AVX2
 // (plus operands) — sized for the 16-register x86-64 vector file.

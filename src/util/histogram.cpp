@@ -1,0 +1,92 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace sgm::util {
+
+namespace {
+constexpr std::uint32_t kSubBuckets = 1u << LatencyHistogram::kSubBucketBits;
+// Octaves 4..39 get sub-bucketed; values >= 2^40 ns (~18 min) clamp into the
+// top bucket. The first 16 buckets are exact single-nanosecond counts.
+constexpr std::uint32_t kMaxOctave = 40;
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_count() {
+  return kSubBuckets * (kMaxOctave - (kSubBucketBits - 1));
+}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+  std::uint32_t octave = static_cast<std::uint32_t>(std::bit_width(ns)) - 1;
+  if (octave >= kMaxOctave) return bucket_count() - 1;
+  const std::uint64_t sub =
+      (ns >> (octave - kSubBucketBits)) & (kSubBuckets - 1);
+  return kSubBuckets * (octave - (kSubBucketBits - 1)) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_ns(std::size_t i) {
+  if (i < kSubBuckets) return i;
+  const std::uint64_t octave = i / kSubBuckets + (kSubBucketBits - 1);
+  const std::uint64_t sub = i % kSubBuckets;
+  return ((kSubBuckets + sub + 1) << (octave - kSubBucketBits)) - 1;
+}
+
+std::uint64_t LatencyHistogram::to_ns(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  const double ns = seconds * 1e9;
+  if (ns >= 9.2e18) return ~0ull;
+  return static_cast<std::uint64_t>(ns);
+}
+
+LatencyHistogram::LatencyHistogram() : counts_(bucket_count()) {}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  counts_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.resize(counts_.size());
+  snap.total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.total += snap.counts[i];
+  }
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= target)
+      return static_cast<double>(LatencyHistogram::bucket_upper_ns(i)) * 1e-9;
+  }
+  return static_cast<double>(
+             LatencyHistogram::bucket_upper_ns(counts.size() - 1)) *
+         1e-9;
+}
+
+double HistogramSnapshot::mean_seconds() const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(sum_ns) * 1e-9 / static_cast<double>(total);
+}
+
+}  // namespace sgm::util

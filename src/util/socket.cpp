@@ -1,0 +1,176 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace sgm::util {
+
+namespace {
+std::runtime_error sys_error(const char* what) {
+  return std::runtime_error(std::string(what) + ": " +
+                            std::strerror(errno));
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpSocket
+// ---------------------------------------------------------------------------
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+long TcpSocket::read_some(char* buf, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r >= 0) return static_cast<long>(r);
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool TcpSocket::write_all(const char* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd_, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void TcpSocket::set_nodelay(bool on) {
+  const int flag = on ? 1 : 0;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
+}
+
+void TcpSocket::set_recv_timeout(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw sys_error("TcpListener: socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    throw sys_error("TcpListener: bind");
+  }
+  if (::listen(listen_fd_, backlog) < 0) {
+    ::close(listen_fd_);
+    throw sys_error("TcpListener: listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ::close(listen_fd_);
+    throw sys_error("TcpListener: getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) < 0) {
+    ::close(listen_fd_);
+    throw sys_error("TcpListener: pipe");
+  }
+}
+
+TcpListener::~TcpListener() {
+  close();
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+TcpSocket TcpListener::accept() {
+  while (true) {
+    if (closed_.load(std::memory_order_acquire)) return TcpSocket();
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return TcpSocket();
+    }
+    // Wake-pipe readable => close() was called while we were blocked.
+    if (fds[1].revents != 0 || closed_.load(std::memory_order_acquire))
+      return TcpSocket();
+    if (!(fds[0].revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return TcpSocket();
+    }
+    return TcpSocket(fd);
+  }
+}
+
+void TcpListener::close() {
+  // Only signals: the fds stay open until destruction so a concurrent
+  // accept() never polls a closed descriptor (that would be a race).
+  if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+    const char byte = 0;
+    [[maybe_unused]] ssize_t w = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+TcpSocket tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw sys_error("tcp_connect: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+         0) {
+    if (errno == EINTR) continue;
+    ::close(fd);
+    throw sys_error("tcp_connect: connect");
+  }
+  return TcpSocket(fd);
+}
+
+}  // namespace sgm::util

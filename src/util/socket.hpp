@@ -1,0 +1,97 @@
+#pragma once
+// Thin RAII wrappers over blocking POSIX TCP sockets — the transport under
+// serve::HttpServer and the bench/test clients.
+//
+// Scope: loopback-grade serving on Linux/POSIX (what CI and the benches
+// run). Blocking I/O with one handler thread per in-flight connection keeps
+// the server logic sequential and ThreadSanitizer-friendly; there is no
+// epoll reactor here on purpose — the batcher, not the socket layer, is
+// where request concurrency is aggregated.
+//
+// Shutdown contract: TcpListener::accept() blocks in poll() on the listening
+// fd plus an internal wake pipe, so close() from another thread reliably
+// unblocks any pending accept (closing a listening fd alone does not
+// guarantee that on Linux). All writes use MSG_NOSIGNAL — a peer that
+// disappears surfaces as an error return, never SIGPIPE.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sgm::util {
+
+/// Movable RAII wrapper of one connected TCP socket.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Blocking read of up to `n` bytes. Returns the byte count, 0 on orderly
+  /// peer shutdown, -1 on error. Retries EINTR internally.
+  long read_some(char* buf, std::size_t n);
+
+  /// Writes all `n` bytes (looping over partial sends). Returns false on any
+  /// error; never raises SIGPIPE.
+  bool write_all(const char* buf, std::size_t n);
+  bool write_all(const std::string& s) {
+    return write_all(s.data(), s.size());
+  }
+
+  /// Disables Nagle batching; latency-sensitive request/response traffic.
+  void set_nodelay(bool on);
+
+  /// Read timeout (SO_RCVTIMEO); 0 disables. Guards server worker threads
+  /// against idle keep-alive connections parking forever.
+  void set_recv_timeout(double seconds);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Thread-safe close() that unblocks a
+/// concurrent accept().
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral port
+  /// (read it back via port()). Throws std::runtime_error on failure.
+  explicit TcpListener(std::uint16_t port, int backlog = 128);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects or close() is called. Returns an invalid
+  /// socket exactly when the listener was closed.
+  TcpSocket accept();
+
+  /// Signals shutdown; idempotent, safe from any thread while accept() is
+  /// blocked. Descriptors are released by the destructor (which must not run
+  /// concurrently with accept() — join the acceptor thread first).
+  void close();
+
+ private:
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< close() writes, accept() polls
+  std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+/// Blocking connect to 127.0.0.1:`port` (bench/test client side). Throws
+/// std::runtime_error on failure.
+TcpSocket tcp_connect(std::uint16_t port);
+
+}  // namespace sgm::util

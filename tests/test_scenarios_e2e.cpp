@@ -20,7 +20,10 @@
 // trainer/sampler/refresh-path change.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +34,8 @@
 #include "pinn/scenario.hpp"
 #include "pinn/trainer.hpp"
 #include "samplers/uniform.hpp"
+#include "serve/batcher.hpp"
+#include "serve/model_registry.hpp"
 
 namespace {
 
@@ -146,6 +151,66 @@ TEST_P(ScenarioE2E, TrainsUnderUniformAndSgmWithThreadInvariance) {
   EXPECT_EQ(inc1.rebuilds, inc4.rebuilds) << name << "/sgm-incremental";
   sgm::pinn::testutil::expect_identical_histories(
       inc1.history, inc4.history, name + "/sgm-incremental threads 1 vs 4");
+}
+
+// The deployment leg: train -> publish a versioned checkpoint -> serve the
+// same scenario through a FRESH registry (so every served weight went
+// through the serialized bytes on disk) -> every batched response bitwise
+// equals the trained network's own forward. This is the end-to-end claim
+// behind the serving engine: checkpointing and batched serving are exactly
+// invisible to the numbers.
+TEST(ScenarioServe, TrainCheckpointServeRoundTripIsExact) {
+  namespace fs = std::filesystem;
+  const ScenarioConfig cfg =
+      ScenarioRegistry::instance().make("poisson2d", ScenarioScale::kSmoke);
+  sgm::util::Rng net_rng(cfg.net_seed);
+  sgm::nn::Mlp net(cfg.net, net_rng);
+  sgm::core::SgmSampler sampler(cfg.problem->interior_points(), cfg.sgm);
+  sgm::pinn::Trainer trainer(*cfg.problem, net, sampler, cfg.trainer);
+  const TrainHistory history = trainer.run();
+  ASSERT_GE(history.records.size(), 2u);
+
+  const std::string root =
+      (fs::temp_directory_path() /
+       ("sgm_e2e_serve_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(root);
+  {
+    sgm::serve::ModelRegistry publisher(root);
+    EXPECT_EQ(publisher.publish("poisson2d", net), 1u);
+  }
+
+  // A fresh registry: the served model is reconstructed from the checkpoint
+  // file, not shared state with the trainer.
+  sgm::serve::ModelRegistry registry(root);
+  sgm::serve::BatcherOptions bopt;
+  bopt.max_batch = 16;
+  bopt.num_threads = 2;
+  sgm::serve::InferenceBatcher batcher(registry, bopt);
+
+  const sgm::tensor::Matrix& pts = cfg.problem->interior_points();
+  const std::size_t n = std::min<std::size_t>(pts.rows(), 64);
+  const sgm::tensor::Matrix expected = net.forward(
+      [&] {
+        sgm::tensor::Matrix head(n, pts.cols());
+        for (std::size_t r = 0; r < n; ++r)
+          std::memcpy(head.row(r), pts.row(r),
+                      pts.cols() * sizeof(double));
+        return head;
+      }());
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto resp = batcher.query(
+        "poisson2d",
+        std::vector<double>(pts.row(r), pts.row(r) + pts.cols()));
+    EXPECT_EQ(resp.version, 1u);
+    ASSERT_EQ(resp.y.size(), expected.cols());
+    EXPECT_EQ(std::memcmp(resp.y.data(), expected.row(r),
+                          resp.y.size() * sizeof(double)),
+              0)
+        << "served prediction for point " << r
+        << " differs from the trained network";
+  }
+  fs::remove_all(root);
 }
 
 TEST(ScenarioRegistry, ExposesAllBuiltinScenarios) {

@@ -1,0 +1,579 @@
+// Serving-engine contract (serve/): batched inference equivalence, registry
+// LRU/pin/hot-swap semantics, version attribution under concurrent
+// publishes, and the HTTP front end.
+//
+// The two load-bearing guarantees, pinned bitwise:
+//  * BATCHING IS INVISIBLE — a row served through forward_batched (any
+//    batch composition, 1 or 4 threads) is byte-identical to a lone
+//    net.forward() on that row;
+//  * EVERY RESPONSE IS ATTRIBUTABLE — under an 8-client soak with a
+//    publisher hot-swapping versions mid-flight, each response's y matches
+//    the prediction of exactly the version it reports. This suite is run
+//    under ThreadSanitizer in CI (serve-smoke job).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "serve/batcher.hpp"
+#include "serve/http_server.hpp"
+#include "serve/metrics.hpp"
+#include "serve/model_registry.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using sgm::nn::Mlp;
+using sgm::nn::MlpConfig;
+using sgm::serve::BatcherOptions;
+using sgm::serve::InferenceBatcher;
+using sgm::serve::ModelRegistry;
+using sgm::serve::ServeMetrics;
+using sgm::tensor::Matrix;
+
+MlpConfig small_config() {
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.output_dim = 2;
+  cfg.width = 16;
+  cfg.depth = 3;
+  return cfg;
+}
+
+Matrix probe_batch(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  sgm::util::Rng rng(seed);
+  Matrix x(n, dim);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform();
+  return x;
+}
+
+Matrix single_row(const Matrix& x, std::size_t r) {
+  Matrix out(1, x.cols());
+  std::memcpy(out.row(0), x.row(r), x.cols() * sizeof(double));
+  return out;
+}
+
+std::vector<double> row_vec(const Matrix& x, std::size_t r) {
+  return std::vector<double>(x.row(r), x.row(r) + x.cols());
+}
+
+/// Fresh registry root per test; removed on teardown.
+class ServeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    root_ = (fs::temp_directory_path() /
+             ("sgm_serve_" + std::to_string(::getpid()) + "_" +
+              info->test_suite_name() + "_" + info->name()))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+// ------------------------------------------------- batched forward bitwise --
+
+class BatchedForward : public ServeTest,
+                       public testing::WithParamInterface<std::size_t> {};
+
+TEST_P(BatchedForward, BitwiseEqualsPerRowForward) {
+  const std::size_t num_threads = GetParam();
+  sgm::util::Rng rng(11);
+  Mlp net(small_config(), rng);
+
+  // Odd batch sizes on purpose: chunk boundaries must not show through.
+  for (const std::size_t n : {1ul, 3ul, 33ul, 257ul}) {
+    const Matrix x = probe_batch(n, net.config().input_dim, 1000 + n);
+    Matrix y;
+    Mlp::ForwardWorkspace ws;
+    net.forward_batched(x, y, ws, num_threads);
+    ASSERT_EQ(y.rows(), n);
+    ASSERT_EQ(y.cols(), net.config().output_dim);
+    for (std::size_t r = 0; r < n; ++r) {
+      const Matrix yr = net.forward(single_row(x, r));
+      ASSERT_EQ(std::memcmp(y.row(r), yr.row(0),
+                            y.cols() * sizeof(double)),
+                0)
+          << "batch " << n << " row " << r << " at " << num_threads
+          << " threads differs from a lone forward";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchedForward, testing::Values(1, 4),
+                         [](const testing::TestParamInfo<std::size_t>& info) {
+                           return std::to_string(info.param) + "thread";
+                         });
+
+// --------------------------------------------------------- registry basics --
+
+TEST_F(ServeTest, RegistryPublishAcquireRoundTrip) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(21);
+  Mlp net(small_config(), rng);
+  EXPECT_THROW(registry.acquire("poisson2d"), std::out_of_range);
+
+  EXPECT_EQ(registry.publish("poisson2d", net), 1u);
+  const auto served = registry.acquire("poisson2d");
+  EXPECT_EQ(served->info.meta.scenario, "poisson2d");
+  EXPECT_EQ(served->info.meta.model_version, 1u);
+
+  // Served predictions come from the published weights, bitwise.
+  const Matrix x = probe_batch(4, net.config().input_dim, 5);
+  const Matrix ya = net.forward(x);
+  const Matrix yb = served->model->forward(x);
+  EXPECT_EQ(std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(double)), 0);
+
+  EXPECT_THROW(registry.publish("../escape", net), std::invalid_argument);
+  EXPECT_THROW(registry.publish("", net), std::invalid_argument);
+}
+
+TEST_F(ServeTest, RegistryVersionsAreMonotonicAndOldOnesStayOnDisk) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(22);
+  Mlp v1(small_config(), rng), v2(small_config(), rng);
+  EXPECT_EQ(registry.publish("s", v1), 1u);
+  EXPECT_EQ(registry.publish("s", v2), 2u);
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "s" / "v1.ckpt"));
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "s" / "v2.ckpt"));
+  EXPECT_EQ(registry.acquire("s")->info.meta.model_version, 2u);
+
+  // A fresh registry over the same root resumes the version sequence.
+  ModelRegistry reopened(root_);
+  sgm::util::Rng rng2(23);
+  Mlp v3(small_config(), rng2);
+  EXPECT_EQ(reopened.publish("s", v3), 3u);
+}
+
+TEST_F(ServeTest, RegistryLruEvictsOldestUnpinnedAndPinProtects) {
+  sgm::serve::RegistryOptions opt;
+  opt.cache_capacity = 2;
+  ModelRegistry registry(root_, opt);
+  sgm::util::Rng rng(24);
+  Mlp net(small_config(), rng);
+  registry.publish("a", net);
+  registry.publish("b", net);
+  registry.publish("c", net);
+
+  registry.pin("a");
+  (void)registry.acquire("b");
+  (void)registry.acquire("c");  // capacity 2: must evict b, never pinned a
+
+  const auto list = registry.list();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list[0].resident && list[0].pinned) << "a";
+  EXPECT_FALSE(list[1].resident) << "b was the LRU victim";
+  EXPECT_TRUE(list[2].resident) << "c";
+
+  const auto stats = registry.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_EQ(stats.publishes, 3u);
+
+  // Unpinning returns `a` to the pool: the next load can now evict it.
+  registry.unpin("a");
+  (void)registry.acquire("b");
+  EXPECT_FALSE(registry.list()[0].resident) << "a evictable after unpin";
+
+  // Cache hits don't reload from disk.
+  const auto before = registry.stats().loads;
+  (void)registry.acquire("b");
+  EXPECT_EQ(registry.stats().loads, before);
+}
+
+TEST_F(ServeTest, HotSwapLeavesInFlightAcquisitionsOnTheirVersion) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(25);
+  Mlp v1(small_config(), rng), v2(small_config(), rng);
+  registry.publish("s", v1);
+
+  const auto held = registry.acquire("s");  // an in-flight batch's view
+  registry.publish("s", v2);
+
+  EXPECT_EQ(held->info.meta.model_version, 1u)
+      << "hot-swap must not mutate an acquired model";
+  const auto fresh = registry.acquire("s");
+  EXPECT_EQ(fresh->info.meta.model_version, 2u);
+  EXPECT_NE(held->info.checksum, fresh->info.checksum);
+
+  const Matrix x = probe_batch(3, v1.config().input_dim, 9);
+  const Matrix expect1 = v1.forward(x);
+  const Matrix got1 = held->model->forward(x);
+  EXPECT_EQ(
+      std::memcmp(expect1.data(), got1.data(), got1.size() * sizeof(double)),
+      0)
+      << "held version still serves v1 weights";
+}
+
+// -------------------------------------------------------- batcher contract --
+
+class BatcherEquivalence : public ServeTest,
+                           public testing::WithParamInterface<std::size_t> {};
+
+TEST_P(BatcherEquivalence, ResponsesBitwiseMatchLoneForwards) {
+  const std::size_t num_threads = GetParam();
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(31);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+
+  BatcherOptions opt;
+  opt.max_batch = 16;
+  opt.max_delay_s = 1e-3;  // force real coalescing under the client storm
+  opt.num_threads = num_threads;
+  InferenceBatcher batcher(registry, opt);
+
+  const std::size_t kClients = 8, kQueriesEach = 50;
+  const Matrix probes =
+      probe_batch(kClients * kQueriesEach, net.config().input_dim, 777);
+  const Matrix expected = net.forward(probes);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < kQueriesEach; ++q) {
+        const std::size_t r = c * kQueriesEach + q;
+        const auto resp = batcher.query("s", row_vec(probes, r));
+        if (resp.version != 1 ||
+            resp.y.size() != net.config().output_dim ||
+            std::memcmp(resp.y.data(), expected.row(r),
+                        resp.y.size() * sizeof(double)) != 0)
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "batched responses must be bitwise identical to lone forwards";
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatcherEquivalence, testing::Values(1, 4),
+                         [](const testing::TestParamInfo<std::size_t>& info) {
+                           return std::to_string(info.param) + "thread";
+                         });
+
+TEST_F(ServeTest, BatcherActuallyCoalescesAndCountsFlushes) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(32);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+
+  ServeMetrics metrics;
+  BatcherOptions opt;
+  opt.max_batch = 8;
+  // A wide deadline window makes coalescing robust to scheduler noise: the
+  // worker holds a partial batch for 50 ms, and with 16 clients re-querying
+  // continuously, batches fill (and flush early) long before that. Full
+  // batches do not wait out the window, so the test stays fast.
+  opt.max_delay_s = 50e-3;
+  InferenceBatcher batcher(registry, opt, &metrics);
+
+  const Matrix probes = probe_batch(64, net.config().input_dim, 88);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 16; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < 4; ++q)
+        (void)batcher.query("s", row_vec(probes, c * 4 + q));
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(metrics.queries_total.load(), 64u);
+  EXPECT_LT(metrics.batches_total.load(), 64u)
+      << "16 concurrent clients should coalesce into fewer batches";
+  EXPECT_EQ(metrics.full_flushes_total.load() +
+                metrics.deadline_flushes_total.load(),
+            metrics.batches_total.load());
+  EXPECT_EQ(metrics.query_latency.count(), 64u);
+}
+
+TEST_F(ServeTest, BatcherErrorPaths) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(33);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+
+  InferenceBatcher batcher(registry, {});
+  EXPECT_THROW(batcher.query("never_published", {0.0, 0.0}),
+               std::out_of_range);
+  EXPECT_THROW(batcher.query("s", {0.0, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_NO_THROW(batcher.query("s", {0.0, 0.0}));
+  batcher.stop();
+  EXPECT_THROW(batcher.query("s", {0.0, 0.0}), std::runtime_error);
+  batcher.stop();  // idempotent
+}
+
+// A mixed-scenario storm: responses must route to the right model.
+TEST_F(ServeTest, BatcherKeepsScenariosApart) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(34);
+  Mlp net_a(small_config(), rng), net_b(small_config(), rng);
+  registry.publish("a", net_a);
+  registry.publish("b", net_b);
+
+  BatcherOptions opt;
+  opt.max_batch = 8;
+  opt.max_delay_s = 1e-3;
+  InferenceBatcher batcher(registry, opt);
+
+  const Matrix probes = probe_batch(32, net_a.config().input_dim, 55);
+  const Matrix ya = net_a.forward(probes);
+  const Matrix yb = net_b.forward(probes);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      const bool use_a = (c % 2 == 0);
+      const Matrix& expected = use_a ? ya : yb;
+      for (std::size_t q = 0; q < 4; ++q) {
+        const std::size_t r = c * 4 + q;
+        const auto resp =
+            batcher.query(use_a ? "a" : "b", row_vec(probes, r));
+        if (std::memcmp(resp.y.data(), expected.row(r),
+                        resp.y.size() * sizeof(double)) != 0)
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ------------------------------------------------- hot-swap attribution soak --
+
+TEST_F(ServeTest, SoakEveryResponseAttributableToExactlyOneVersion) {
+  // 8 clients hammer the batcher while a publisher hot-swaps through 5
+  // versions. For every response, y must equal version-resp.version's
+  // prediction on that probe — bitwise. A torn read, a stale cache entry or
+  // a mid-batch swap would all surface as a mismatch (and as a TSan report
+  // in the CI serve-smoke job).
+  ModelRegistry registry(root_);
+  const std::size_t kVersions = 5;
+  std::vector<std::unique_ptr<Mlp>> nets;
+  for (std::size_t v = 0; v < kVersions; ++v) {
+    sgm::util::Rng rng(1000 + v);
+    nets.push_back(std::make_unique<Mlp>(small_config(), rng));
+  }
+  registry.publish("s", *nets[0]);
+
+  const std::size_t kProbes = 32;
+  const Matrix probes = probe_batch(kProbes, small_config().input_dim, 4242);
+  std::vector<Matrix> expected;  // expected[v] = version v+1's predictions
+  for (const auto& net : nets) expected.push_back(net->forward(probes));
+
+  BatcherOptions opt;
+  opt.max_batch = 16;
+  opt.max_delay_s = 500e-6;
+  opt.num_threads = 2;
+  InferenceBatcher batcher(registry, opt);
+
+  std::atomic<bool> publishing{true};
+  std::atomic<int> bad_version{0}, bad_payload{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      sgm::util::Rng pick(9000 + c);
+      for (std::size_t q = 0; q < 200; ++q) {
+        const std::size_t r =
+            static_cast<std::size_t>(pick.uniform() * kProbes) % kProbes;
+        const auto resp = batcher.query("s", row_vec(probes, r));
+        if (resp.version < 1 || resp.version > kVersions) {
+          bad_version.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const Matrix& want = expected[resp.version - 1];
+        if (std::memcmp(resp.y.data(), want.row(r),
+                        resp.y.size() * sizeof(double)) != 0)
+          bad_payload.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread publisher([&] {
+    for (std::size_t v = 1; v < kVersions && publishing.load(); ++v) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      registry.publish("s", *nets[v]);
+    }
+  });
+
+  for (auto& t : clients) t.join();
+  publishing.store(false);
+  publisher.join();
+
+  EXPECT_EQ(bad_version.load(), 0) << "response with an unknown version";
+  EXPECT_EQ(bad_payload.load(), 0)
+      << "response whose payload does not match its reported version";
+  EXPECT_EQ(registry.stats().publishes, kVersions);
+  EXPECT_EQ(registry.acquire("s")->info.meta.model_version, kVersions);
+}
+
+// ------------------------------------------------------------- HTTP server --
+
+std::string http_request(std::uint16_t port, const std::string& method,
+                         const std::string& target, const std::string& body) {
+  sgm::util::TcpSocket conn = sgm::util::tcp_connect(port);
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  req += body;
+  EXPECT_TRUE(conn.write_all(req));
+  std::string response;
+  char chunk[4096];
+  long n;
+  while ((n = conn.read_some(chunk, sizeof(chunk))) > 0)
+    response.append(chunk, static_cast<std::size_t>(n));
+  return response;
+}
+
+int response_status(const std::string& response) {
+  // "HTTP/1.1 NNN ..."
+  if (response.size() < 12) return -1;
+  return std::atoi(response.c_str() + 9);
+}
+
+std::string response_body(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+struct HttpStack {
+  explicit HttpStack(const std::string& root)
+      : registry(root), batcher(registry, batcher_opts(), &metrics) {
+    sgm::serve::HttpServerOptions hopt;
+    hopt.num_workers = 2;
+    server = std::make_unique<sgm::serve::HttpServer>(registry, batcher,
+                                                      metrics, hopt);
+  }
+  ~HttpStack() {
+    server->stop();
+    batcher.stop();
+  }
+  static BatcherOptions batcher_opts() {
+    BatcherOptions opt;
+    opt.max_delay_s = 200e-6;
+    return opt;
+  }
+  ModelRegistry registry;
+  ServeMetrics metrics;
+  InferenceBatcher batcher;
+  std::unique_ptr<sgm::serve::HttpServer> server;
+};
+
+TEST_F(ServeTest, HttpQueryRoundTripsPredictionsExactly) {
+  HttpStack stack(root_);
+  sgm::util::Rng rng(41);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("poisson2d", net);
+  const std::uint16_t port = stack.server->port();
+
+  const Matrix probes = probe_batch(8, net.config().input_dim, 66);
+  const Matrix expected = net.forward(probes);
+  for (std::size_t r = 0; r < probes.rows(); ++r) {
+    char body[256];
+    std::snprintf(body, sizeof(body),
+                  "{\"scenario\": \"poisson2d\", \"x\": [%.17g, %.17g]}",
+                  probes.row(r)[0], probes.row(r)[1]);
+    const std::string response =
+        http_request(port, "POST", "/v1/query", body);
+    ASSERT_EQ(response_status(response), 200) << response;
+    const std::string resp_body = response_body(response);
+    EXPECT_NE(resp_body.find("\"version\": 1"), std::string::npos);
+
+    // %.17g round-trips doubles exactly: parse y back and compare bitwise.
+    const std::size_t ypos = resp_body.find("\"y\": [");
+    ASSERT_NE(ypos, std::string::npos) << resp_body;
+    const char* cursor = resp_body.c_str() + ypos + 6;
+    for (std::size_t c = 0; c < net.config().output_dim; ++c) {
+      char* end = nullptr;
+      const double got = std::strtod(cursor, &end);
+      ASSERT_NE(cursor, end) << resp_body;
+      const double want = expected.row(r)[c];
+      EXPECT_EQ(std::memcmp(&got, &want, sizeof(double)), 0)
+          << "row " << r << " col " << c << ": served " << got
+          << " != forward " << want;
+      cursor = end;
+      while (*cursor == ',' || *cursor == ' ') ++cursor;
+    }
+  }
+}
+
+TEST_F(ServeTest, HttpEndpointsAndErrorMapping) {
+  HttpStack stack(root_);
+  sgm::util::Rng rng(42);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("s", net);
+  const std::uint16_t port = stack.server->port();
+
+  EXPECT_EQ(response_body(http_request(port, "GET", "/healthz", "")), "ok\n");
+
+  const std::string models =
+      response_body(http_request(port, "GET", "/v1/models", ""));
+  EXPECT_NE(models.find("\"scenario\": \"s\""), std::string::npos) << models;
+  EXPECT_NE(models.find("\"version\": 1"), std::string::npos) << models;
+
+  // Exercise a query so the metrics page has data.
+  (void)http_request(port, "POST", "/v1/query",
+                     "{\"scenario\": \"s\", \"x\": [0.5, 0.5]}");
+  const std::string metrics =
+      response_body(http_request(port, "GET", "/metrics", ""));
+  for (const char* expected_metric :
+       {"sgm_serve_http_requests_total", "sgm_serve_queries_total",
+        "sgm_serve_query_latency_seconds{quantile=\"0.99\"}",
+        "sgm_serve_batches_total"})
+    EXPECT_NE(metrics.find(expected_metric), std::string::npos)
+        << "missing " << expected_metric << " in:\n"
+        << metrics;
+
+  EXPECT_EQ(response_status(http_request(port, "GET", "/nope", "")), 404);
+  EXPECT_EQ(response_status(http_request(port, "GET", "/v1/query", "")), 405);
+  EXPECT_EQ(
+      response_status(http_request(port, "POST", "/v1/query", "not json")),
+      400);
+  EXPECT_EQ(response_status(http_request(
+                port, "POST", "/v1/query",
+                "{\"scenario\": \"never\", \"x\": [0.1, 0.2]}")),
+            404);
+  EXPECT_EQ(response_status(http_request(
+                port, "POST", "/v1/query",
+                "{\"scenario\": \"s\", \"x\": [0.1, 0.2, 0.3]}")),
+            400);
+}
+
+TEST_F(ServeTest, HttpConcurrentClientsAllServed) {
+  HttpStack stack(root_);
+  sgm::util::Rng rng(43);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("s", net);
+  const std::uint16_t port = stack.server->port();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      for (int q = 0; q < 10; ++q) {
+        const std::string response =
+            http_request(port, "POST", "/v1/query",
+                         "{\"scenario\": \"s\", \"x\": [0.25, 0.75]}");
+        if (response_status(response) != 200)
+          failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(stack.metrics.http_requests_total.load(), 80u);
+}
+
+}  // namespace
