@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # One-command verify: configure + build + ctest.
-#   scripts/check.sh [--tier1|--tier2|--bench] [build-dir]   (extra CMake args via CMAKE_ARGS)
+#   scripts/check.sh [--tier1|--tier2|--bench|--lint|--asan|--tidy] [build-dir]
+#                                            (extra CMake args via CMAKE_ARGS)
 #
 # Default runs every ctest suite. --tier1 runs only the fast unit/property
 # suites (label tier1), which include the incremental-refresh equivalence
@@ -14,6 +15,11 @@
 # BENCH_incremental_refresh.json and BENCH_serve.json in the build dir
 # (the perf-smoke / serve-smoke CI jobs do the same; compare against
 # bench/baselines/).
+# --lint runs the determinism lint (self-test first, then the tree) without
+# building anything. --asan builds with SGM_ASAN=ON into <build-dir>-asan and
+# runs tier1 under AddressSanitizer+UBSan. --tidy runs clang-tidy over src/
+# using the compile_commands.json of the build dir (requires clang-tidy on
+# PATH; CI provides it).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,8 +29,26 @@ case "${1:-}" in
   --tier1) TIER="tier1"; shift ;;
   --tier2) TIER="tier2"; shift ;;
   --bench) TIER="bench"; shift ;;
+  --lint)  TIER="lint";  shift ;;
+  --asan)  TIER="asan";  shift ;;
+  --tidy)  TIER="tidy";  shift ;;
 esac
 BUILD_DIR="${1:-build}"
+
+if [[ "$TIER" == "lint" ]]; then
+  python3 scripts/lint_determinism.py --self-test
+  python3 scripts/lint_determinism.py
+  exit 0
+fi
+
+if [[ "$TIER" == "asan" ]]; then
+  BUILD_DIR="${1:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . -DSGM_ASAN=ON -DSGM_BUILD_BENCH=OFF \
+    -DSGM_BUILD_EXAMPLES=OFF ${CMAKE_ARGS:-}
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -40,6 +64,12 @@ if [[ "$TIER" == "bench" ]]; then
   echo "Wrote $BUILD_DIR/BENCH_incremental_refresh.json"
   (cd "$BUILD_DIR" && SGM_BENCH_JSON=1 ./bench_serve)
   echo "Wrote $BUILD_DIR/BENCH_serve.json"
+elif [[ "$TIER" == "tidy" ]]; then
+  command -v clang-tidy >/dev/null || {
+    echo "clang-tidy not found on PATH" >&2; exit 1; }
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' | sort)
+  clang-tidy -p "$BUILD_DIR" --quiet --warnings-as-errors='*' \
+    "${TIDY_SOURCES[@]}"
 elif [[ "$TIER" == "tier2" ]]; then
   ctest --test-dir "$BUILD_DIR" -L tier2 --output-on-failure
 elif [[ "$TIER" == "tier1" ]]; then

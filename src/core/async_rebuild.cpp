@@ -7,12 +7,19 @@ AsyncRebuilder::~AsyncRebuilder() { wait(); }
 void AsyncRebuilder::launch_job(std::function<graph::Clustering()> job) {
   if (running_.load()) return;
   wait();  // join any finished-but-unjoined worker
+  {
+    util::MutexLock lock(mu_);
+    has_result_ = false;
+  }
   running_.store(true);
-  has_result_.store(false);
   worker_ = std::thread([this, job = std::move(job)]() {
-    result_ = job();
-    has_result_.store(true);
-    running_.store(false);
+    graph::Clustering r = job();
+    {
+      util::MutexLock lock(mu_);
+      result_ = std::move(r);
+      has_result_ = true;
+    }
+    running_.store(false);  // last: publishes the result to try_take()
   });
 }
 
@@ -30,10 +37,16 @@ void AsyncRebuilder::launch(tensor::Matrix points,
 }
 
 std::optional<graph::Clustering> AsyncRebuilder::try_take() {
-  if (running_.load() || !has_result_.load()) return std::nullopt;
+  if (running_.load()) return std::nullopt;
+  std::optional<graph::Clustering> out;
+  {
+    util::MutexLock lock(mu_);
+    if (!has_result_) return std::nullopt;
+    has_result_ = false;
+    out.emplace(std::move(result_));
+  }
   if (worker_.joinable()) worker_.join();
-  has_result_.store(false);
-  return std::move(result_);
+  return out;
 }
 
 void AsyncRebuilder::wait() {

@@ -15,6 +15,7 @@
 #include "core/pgm.hpp"
 #include "graph/lrd.hpp"
 #include "tensor/matrix.hpp"
+#include "util/mutex.hpp"
 
 namespace sgm::core {
 
@@ -50,9 +51,13 @@ class AsyncRebuilder {
 
  private:
   std::thread worker_;
+  /// Lock-free poll flag: cleared by the worker only after the result has
+  /// been published under mu_, so running_ == false makes the result (if
+  /// any) visible to a subsequent lock of mu_.
   std::atomic<bool> running_{false};
-  std::atomic<bool> has_result_{false};
-  graph::Clustering result_;
+  util::Mutex mu_;
+  bool has_result_ SGM_GUARDED_BY(mu_) = false;
+  graph::Clustering result_ SGM_GUARDED_BY(mu_);
 };
 
 }  // namespace sgm::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace sgm::graph {
 
 CsrGraph CsrGraph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
@@ -11,10 +13,11 @@ CsrGraph CsrGraph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
 
   // Normalize to u < v, drop self-loops, merge duplicates by summing weight.
   for (auto& e : edges) {
-    if (e.u >= num_nodes || e.v >= num_nodes)
-      throw std::out_of_range("CsrGraph: edge endpoint out of range");
-    if (e.w <= 0.0)
-      throw std::invalid_argument("CsrGraph: edge weights must be positive");
+    SGM_CHECK_BOUNDS(e.u < num_nodes && e.v < num_nodes,
+                     "CsrGraph: edge endpoint (", e.u, ", ", e.v,
+                     ") out of range for ", num_nodes, " nodes");
+    SGM_CHECK_ARG(e.w > 0.0, "CsrGraph: edge weights must be positive, got ",
+                  e.w, " on (", e.u, ", ", e.v, ")");
     if (e.u > e.v) std::swap(e.u, e.v);
   }
   std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
@@ -53,7 +56,76 @@ CsrGraph CsrGraph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
     g.wdeg_[e.u] += e.w;
     g.wdeg_[e.v] += e.w;
   }
+  SGM_AUDIT(g.audit());
   return g;
+}
+
+void CsrGraph::audit() const {
+  audit_csr_arrays(num_nodes_, edges_, offsets_, nbr_, inc_, wdeg_);
+}
+
+void audit_csr_arrays(NodeId num_nodes, const std::vector<Edge>& edges,
+                      const std::vector<std::size_t>& offsets,
+                      const std::vector<NodeId>& nbr,
+                      const std::vector<EdgeId>& inc,
+                      const std::vector<double>& wdeg) {
+  // Canonical edge list: u < v, strictly sorted (so unique), positive w.
+  for (EdgeId i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    SGM_CHECK(e.u < e.v, "edge ", i, " not canonical: (", e.u, ", ", e.v, ")");
+    SGM_CHECK(e.v < num_nodes, "edge ", i, " endpoint ", e.v,
+              " out of range for ", num_nodes, " nodes");
+    SGM_CHECK(e.w > 0.0, "edge ", i, " weight ", e.w, " not positive");
+    if (i > 0) {
+      const Edge& p = edges[i - 1];
+      SGM_CHECK(p.u < e.u || (p.u == e.u && p.v < e.v),
+                "edge list not strictly sorted at ", i);
+    }
+  }
+
+  // CSR shape: monotone offsets covering exactly 2|E| adjacency slots.
+  SGM_CHECK(offsets.size() == static_cast<std::size_t>(num_nodes) + 1,
+            "offsets size ", offsets.size(), " != num_nodes + 1");
+  SGM_CHECK(offsets.empty() || offsets.front() == 0, "offsets[0] != 0");
+  for (NodeId u = 0; u < num_nodes; ++u)
+    SGM_CHECK(offsets[u] <= offsets[u + 1], "offsets not monotone at ", u);
+  SGM_CHECK(offsets[num_nodes] == 2 * edges.size(),
+            "offsets[n] = ", offsets[num_nodes], " != 2|E| = ",
+            2 * edges.size());
+  SGM_CHECK(nbr.size() == 2 * edges.size(), "nbr size mismatch");
+  SGM_CHECK(inc.size() == 2 * edges.size(), "inc size mismatch");
+
+  // Adjacency consistency + symmetry: every slot of u's row references an
+  // edge incident to u, the neighbor is the edge's other endpoint, and each
+  // edge id appears exactly once per endpoint (hence exactly twice total).
+  std::vector<int> seen(edges.size(), 0);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (std::size_t s = offsets[u]; s < offsets[u + 1]; ++s) {
+      const EdgeId id = inc[s];
+      SGM_CHECK(id < edges.size(), "inc slot ", s, " edge id out of range");
+      const Edge& e = edges[id];
+      SGM_CHECK(e.u == u || e.v == u, "edge ", id, " in row ", u,
+                " is not incident to it");
+      const NodeId other = e.u == u ? e.v : e.u;
+      SGM_CHECK(nbr[s] == other, "nbr slot ", s, " is ", nbr[s],
+                " but edge ", id, " says ", other);
+      ++seen[id];
+    }
+  }
+  for (EdgeId i = 0; i < edges.size(); ++i)
+    SGM_CHECK(seen[i] == 2, "edge ", i, " appears ", seen[i],
+              " times in the adjacency (want 2: symmetry)");
+
+  // Weighted degrees re-derivable from the edge list.
+  SGM_CHECK(wdeg.size() == num_nodes, "wdeg size mismatch");
+  std::vector<double> expect(num_nodes, 0.0);
+  for (const Edge& e : edges) {
+    expect[e.u] += e.w;
+    expect[e.v] += e.w;
+  }
+  for (NodeId u = 0; u < num_nodes; ++u)
+    SGM_CHECK(wdeg[u] == expect[u], "wdeg[", u, "] = ", wdeg[u],
+              " != recomputed ", expect[u]);
 }
 
 double CsrGraph::average_degree() const {

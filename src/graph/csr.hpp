@@ -58,6 +58,14 @@ class CsrGraph {
   /// True when every node is reachable from node 0 (or the graph is empty).
   bool is_connected() const;
 
+  /// Heavy invariant sweep (SGM_CHECK-based; see util/check.hpp): canonical
+  /// u < v sorted unique edge list with positive weights, consistent CSR
+  /// offsets/adjacency, symmetric neighbor lists (v in N(u) iff u in N(v),
+  /// through the same edge id), and weighted degrees that match the edge
+  /// list. Throws util::CheckError on the first violation. from_edges runs
+  /// it automatically when SGM_AUDIT=1; tier-1 tests call it directly.
+  void audit() const;
+
  private:
   NodeId num_nodes_ = 0;
   std::vector<Edge> edges_;
@@ -66,5 +74,13 @@ class CsrGraph {
   std::vector<EdgeId> inc_;
   std::vector<double> wdeg_;
 };
+
+/// The raw-array form of CsrGraph::audit(), so tests can exercise the audit
+/// on deliberately malformed structures (from_edges never produces one).
+void audit_csr_arrays(NodeId num_nodes, const std::vector<Edge>& edges,
+                      const std::vector<std::size_t>& offsets,
+                      const std::vector<NodeId>& nbr,
+                      const std::vector<EdgeId>& inc,
+                      const std::vector<double>& wdeg);
 
 }  // namespace sgm::graph

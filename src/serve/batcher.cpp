@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace sgm::serve {
 
 using Clock = std::chrono::steady_clock;
@@ -55,10 +57,9 @@ struct InferenceBatcher::Pending {
 InferenceBatcher::InferenceBatcher(ModelRegistry& registry, BatcherOptions opt,
                                    ServeMetrics* metrics)
     : registry_(registry), opt_(opt), metrics_(metrics) {
-  if (opt_.max_batch == 0)
-    throw std::invalid_argument("InferenceBatcher: max_batch must be >= 1");
-  if (opt_.num_workers == 0)
-    throw std::invalid_argument("InferenceBatcher: num_workers must be >= 1");
+  SGM_CHECK_ARG(opt_.max_batch >= 1, "InferenceBatcher: max_batch must be >= 1");
+  SGM_CHECK_ARG(opt_.num_workers >= 1,
+                "InferenceBatcher: num_workers must be >= 1");
   workers_.reserve(opt_.num_workers);
   for (std::size_t i = 0; i < opt_.num_workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -76,7 +77,7 @@ InferenceBatcher::Response InferenceBatcher::query(const std::string& scenario,
                          std::chrono::duration<double>(opt_.max_delay_s));
   std::future<Pending::Outcome> fut = pending->promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (stop_)
       throw std::runtime_error("InferenceBatcher: query after stop()");
     queue_.push_back(std::move(pending));
@@ -96,13 +97,27 @@ InferenceBatcher::Response InferenceBatcher::query(const std::string& scenario,
   throw std::runtime_error(out.message);
 }
 
+void InferenceBatcher::collect_locked(
+    const std::string& scenario,
+    std::vector<std::unique_ptr<Pending>>& batch) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < opt_.max_batch;) {
+    if ((*it)->scenario == scenario) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void InferenceBatcher::worker_loop() {
   std::vector<std::unique_ptr<Pending>> batch;
   while (true) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (stop_) return;  // stop() answers whatever is still queued
 
       // Coalesce every pending request for the scenario at the head of the
@@ -110,26 +125,15 @@ void InferenceBatcher::worker_loop() {
       // picked up by the next batch.
       const std::string scenario = queue_.front()->scenario;
       const Clock::time_point deadline = queue_.front()->deadline;
-      const auto collect = [&] {
-        for (auto it = queue_.begin();
-             it != queue_.end() && batch.size() < opt_.max_batch;) {
-          if ((*it)->scenario == scenario) {
-            batch.push_back(std::move(*it));
-            it = queue_.erase(it);
-          } else {
-            ++it;
-          }
-        }
-      };
-      collect();
+      collect_locked(scenario, batch);
       // Deadline flush: a partial batch waits for stragglers only until the
       // oldest member's deadline, bounding tail latency at low load.
       while (batch.size() < opt_.max_batch && !stop_) {
-        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-          collect();
+        if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+          collect_locked(scenario, batch);
           break;
         }
-        collect();
+        collect_locked(scenario, batch);
       }
     }
     if (metrics_ && !batch.empty()) {
@@ -200,6 +204,9 @@ void InferenceBatcher::serve_batch(
     for (Pending* p : valid) p->fail(ErrKind::kRuntime, e.what());
     return;
   }
+  SGM_CHECK(yb.rows() == valid.size() && yb.cols() == out_dim,
+            "forward_batched returned ", yb.rows(), "x", yb.cols(),
+            " for a ", valid.size(), "-query batch of width ", out_dim);
 
   // Counters first, fulfillment second: a client that has its response in
   // hand must already be visible in the metrics (set_value unblocks the
@@ -224,7 +231,7 @@ void InferenceBatcher::serve_batch(
 void InferenceBatcher::stop() {
   std::deque<std::unique_ptr<Pending>> orphans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
     orphans.swap(queue_);
   }

@@ -17,11 +17,9 @@
 //    hot-swaps each response is attributable to exactly one published
 //    version — never a torn mix.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +27,7 @@
 #include "nn/mlp.hpp"
 #include "serve/metrics.hpp"
 #include "serve/model_registry.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 
 namespace sgm::serve {
@@ -73,15 +72,20 @@ class InferenceBatcher {
   struct Pending;
   void worker_loop();
   void serve_batch(std::vector<std::unique_ptr<Pending>> batch);
+  /// Moves every queued request for `scenario` (up to max_batch) into
+  /// `batch`, preserving queue order for other scenarios.
+  void collect_locked(const std::string& scenario,
+                      std::vector<std::unique_ptr<Pending>>& batch)
+      SGM_REQUIRES(mu_);
 
   ModelRegistry& registry_;
   BatcherOptions opt_;
   ServeMetrics* metrics_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Pending>> queue_;
-  bool stop_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<std::unique_ptr<Pending>> queue_ SGM_GUARDED_BY(mu_);
+  bool stop_ SGM_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

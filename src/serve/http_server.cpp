@@ -172,7 +172,7 @@ HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (stop_) return;
     stop_ = true;
   }
@@ -191,7 +191,7 @@ void HttpServer::acceptor_loop() {
     if (!conn.valid()) return;  // listener closed => shutting down
     conn.set_nodelay(true);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (stop_) return;
       conn_queue_.push_back(std::move(conn));
     }
@@ -203,8 +203,8 @@ void HttpServer::handler_loop() {
   while (true) {
     util::TcpSocket conn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !conn_queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!stop_ && conn_queue_.empty()) cv_.wait(mu_);
       if (stop_) return;
       conn = std::move(conn_queue_.front());
       conn_queue_.pop_front();
@@ -228,7 +228,7 @@ bool HttpServer::handle_connection(util::TcpSocket& conn) {
     pollfd pfd{conn.fd(), POLLIN, 0};
     const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (stop_) return false;
     }
     if (rc == 0) {

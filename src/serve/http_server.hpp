@@ -19,10 +19,8 @@
 // round-trips the text layer bit-exactly (same contract as the telemetry
 // CSVs).
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +28,7 @@
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
 #include "serve/model_registry.hpp"
+#include "util/mutex.hpp"
 #include "util/socket.hpp"
 
 namespace sgm::serve {
@@ -71,10 +70,10 @@ class HttpServer {
   HttpServerOptions opt_;
 
   util::TcpListener listener_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<util::TcpSocket> conn_queue_;
-  bool stop_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<util::TcpSocket> conn_queue_ SGM_GUARDED_BY(mu_);
+  bool stop_ SGM_GUARDED_BY(mu_) = false;
   std::thread acceptor_;
   std::vector<std::thread> handlers_;
 };

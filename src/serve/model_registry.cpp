@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace sgm::serve {
 
 namespace fs = std::filesystem;
@@ -13,19 +15,15 @@ namespace fs = std::filesystem;
 namespace {
 
 void check_scenario_name(const std::string& scenario) {
-  if (scenario.empty())
-    throw std::invalid_argument("ModelRegistry: empty scenario name");
+  SGM_CHECK_ARG(!scenario.empty(), "ModelRegistry: empty scenario name");
   for (const char c : scenario) {
     const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
                     c == '_' || c == '-' || c == '.';
-    if (!ok)
-      throw std::invalid_argument(
-          "ModelRegistry: scenario name '" + scenario +
-          "' contains characters outside [A-Za-z0-9._-]");
+    SGM_CHECK_ARG(ok, "ModelRegistry: scenario name '", scenario,
+                  "' contains characters outside [A-Za-z0-9._-]");
   }
-  if (scenario[0] == '.')
-    throw std::invalid_argument("ModelRegistry: scenario name '" + scenario +
-                                "' may not start with '.'");
+  SGM_CHECK_ARG(scenario[0] != '.', "ModelRegistry: scenario name '",
+                scenario, "' may not start with '.'");
 }
 
 /// Parses "v<N>.ckpt" -> N; 0 when the name does not match.
@@ -45,8 +43,8 @@ std::uint64_t parse_version_filename(const std::string& name) {
 
 ModelRegistry::ModelRegistry(std::string root, RegistryOptions opt)
     : root_(std::move(root)), opt_(opt) {
-  if (opt_.cache_capacity == 0)
-    throw std::invalid_argument("ModelRegistry: cache_capacity must be >= 1");
+  SGM_CHECK_ARG(opt_.cache_capacity >= 1,
+                "ModelRegistry: cache_capacity must be >= 1");
   std::error_code ec;
   fs::create_directories(root_, ec);
   if (ec)
@@ -79,15 +77,12 @@ ServedModelPtr ModelRegistry::load_version(const std::string& scenario,
                                            std::uint64_t version) {
   nn::LoadedModel loaded =
       nn::load_model_file(checkpoint_path(scenario, version));
-  if (loaded.info.meta.scenario != scenario)
-    throw std::runtime_error("ModelRegistry: checkpoint for '" + scenario +
-                             "' names scenario '" +
-                             loaded.info.meta.scenario + "'");
-  if (loaded.info.meta.model_version != version)
-    throw std::runtime_error(
-        "ModelRegistry: checkpoint v" + std::to_string(version) +
-        " header says version " +
-        std::to_string(loaded.info.meta.model_version));
+  SGM_CHECK(loaded.info.meta.scenario == scenario,
+            "ModelRegistry: checkpoint for '", scenario, "' names scenario '",
+            loaded.info.meta.scenario, "'");
+  SGM_CHECK(loaded.info.meta.model_version == version,
+            "ModelRegistry: checkpoint v", version, " header says version ",
+            loaded.info.meta.model_version);
   auto served = std::make_shared<ServedModel>();
   served->info = loaded.info;
   served->model = std::move(loaded.model);
@@ -113,7 +108,7 @@ void ModelRegistry::evict_if_over_capacity() {
 std::uint64_t ModelRegistry::publish(const std::string& scenario,
                                      const nn::Mlp& net) {
   check_scenario_name(scenario);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
 
   std::error_code ec;
   fs::create_directories(scenario_dir(scenario), ec);
@@ -122,6 +117,14 @@ std::uint64_t ModelRegistry::publish(const std::string& scenario,
                              scenario_dir(scenario) + "': " + ec.message());
 
   const std::uint64_t version = latest_version_on_disk(scenario) + 1;
+  // Version monotonicity: the version we are about to write must strictly
+  // exceed whatever is resident — a violation means a checkpoint file was
+  // deleted out from under us or the resident entry is corrupt.
+  if (auto it = cache_.find(scenario); it != cache_.end())
+    SGM_CHECK(version > it->second.model->info.meta.model_version,
+              "ModelRegistry: publishing v", version, " for '", scenario,
+              "' but v", it->second.model->info.meta.model_version,
+              " is already resident");
   nn::CheckpointMeta meta;
   meta.scenario = scenario;
   meta.model_version = version;
@@ -146,11 +149,12 @@ std::uint64_t ModelRegistry::publish(const std::string& scenario,
   // load lazily on their next acquire().
   if (auto it = cache_.find(scenario); it != cache_.end())
     it->second.model = load_version(scenario, version);
+  SGM_AUDIT(audit_locked());
   return version;
 }
 
 ServedModelPtr ModelRegistry::acquire(const std::string& scenario) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (auto it = cache_.find(scenario); it != cache_.end()) {
     ++stats_.hits;
     it->second.last_used = ++tick_;
@@ -167,11 +171,12 @@ ServedModelPtr ModelRegistry::acquire(const std::string& scenario) {
   auto ptr = entry.model;
   cache_[scenario] = std::move(entry);
   evict_if_over_capacity();
+  SGM_AUDIT(audit_locked());
   return ptr;
 }
 
 void ModelRegistry::pin(const std::string& scenario) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = cache_.find(scenario);
   if (it == cache_.end()) {
     const std::uint64_t version = latest_version_on_disk(scenario);
@@ -189,14 +194,14 @@ void ModelRegistry::pin(const std::string& scenario) {
 }
 
 void ModelRegistry::unpin(const std::string& scenario) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (auto it = cache_.find(scenario); it != cache_.end())
     it->second.pinned = false;
   evict_if_over_capacity();
 }
 
 std::vector<ModelInfo> ModelRegistry::list() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::map<std::string, ModelInfo> infos;
   std::error_code ec;
   for (const auto& dir : fs::directory_iterator(root_, ec)) {
@@ -223,8 +228,47 @@ std::vector<ModelInfo> ModelRegistry::list() const {
 }
 
 RegistryStats ModelRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
+}
+
+void ModelRegistry::audit() const {
+  util::MutexLock lock(mu_);
+  audit_locked();
+}
+
+void ModelRegistry::audit_locked() const {
+  std::size_t pinned = 0;
+  for (const auto& [scenario, entry] : cache_) {
+    SGM_CHECK(entry.model != nullptr, "ModelRegistry audit: resident '",
+              scenario, "' has a null model");
+    const nn::CheckpointMeta& meta = entry.model->info.meta;
+    SGM_CHECK(meta.scenario == scenario, "ModelRegistry audit: entry '",
+              scenario, "' holds a checkpoint for '", meta.scenario, "'");
+    SGM_CHECK(meta.model_version >= 1, "ModelRegistry audit: resident '",
+              scenario, "' has version 0 (never a valid publish)");
+    const std::uint64_t latest = latest_version_on_disk(scenario);
+    SGM_CHECK(meta.model_version <= latest, "ModelRegistry audit: resident '",
+              scenario, "' is at v", meta.model_version,
+              " but the latest checkpoint on disk is v", latest);
+    std::error_code ec;
+    SGM_CHECK(fs::exists(checkpoint_path(scenario, meta.model_version), ec),
+              "ModelRegistry audit: resident '", scenario, "' v",
+              meta.model_version, " has no backing checkpoint file");
+    SGM_CHECK(entry.last_used <= tick_, "ModelRegistry audit: resident '",
+              scenario, "' was last used at tick ", entry.last_used,
+              " but the registry clock is only at ", tick_);
+    if (entry.pinned) ++pinned;
+  }
+  // evict_if_over_capacity only ever leaves an over-capacity cache when no
+  // victim exists, i.e. when every entry is pinned.
+  SGM_CHECK(cache_.size() <= opt_.cache_capacity || pinned == cache_.size(),
+            "ModelRegistry audit: ", cache_.size(), " resident entries exceed "
+            "capacity ", opt_.cache_capacity, " with only ", pinned,
+            " pinned");
+  SGM_CHECK(stats_.loads >= stats_.misses, "ModelRegistry audit: ",
+            stats_.loads, " loads < ", stats_.misses,
+            " misses (every miss is a load)");
 }
 
 }  // namespace sgm::serve

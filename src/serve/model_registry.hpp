@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "nn/serialize.hpp"
+#include "util/mutex.hpp"
 
 namespace sgm::serve {
 
@@ -90,6 +90,15 @@ class ModelRegistry {
 
   const std::string& root() const { return root_; }
 
+  /// Heavy invariant sweep (SGM_CHECK-based): every resident entry carries a
+  /// live model whose header names its cache key and a version that exists
+  /// on disk and never exceeds the latest published one, LRU ticks never run
+  /// ahead of the registry clock, and the cache only exceeds capacity when
+  /// the overflow is entirely pinned. Throws util::CheckError on violation.
+  /// publish()/acquire() run it when SGM_AUDIT=1; tier-1 tests call it
+  /// directly.
+  void audit() const SGM_EXCLUDES(mu_);
+
  private:
   struct Entry {
     ServedModelPtr model;
@@ -97,22 +106,26 @@ class ModelRegistry {
     std::uint64_t last_used = 0;  ///< LRU tick of the last acquire
   };
 
-  // All private helpers assume mu_ is held.
+  // Pure path helpers; no shared state.
   std::string scenario_dir(const std::string& scenario) const;
   std::string checkpoint_path(const std::string& scenario,
                               std::uint64_t version) const;
-  std::uint64_t latest_version_on_disk(const std::string& scenario) const;
+  // Helpers that touch cache_/stats_ (or are only called from sections that
+  // do) require mu_; the annotations make the discipline checkable.
+  std::uint64_t latest_version_on_disk(const std::string& scenario) const
+      SGM_REQUIRES(mu_);
   ServedModelPtr load_version(const std::string& scenario,
-                              std::uint64_t version);
-  void evict_if_over_capacity();
+                              std::uint64_t version) SGM_REQUIRES(mu_);
+  void evict_if_over_capacity() SGM_REQUIRES(mu_);
+  void audit_locked() const SGM_REQUIRES(mu_);
 
   std::string root_;
   RegistryOptions opt_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> cache_;
-  std::uint64_t tick_ = 0;
-  RegistryStats stats_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Entry> cache_ SGM_GUARDED_BY(mu_);
+  std::uint64_t tick_ SGM_GUARDED_BY(mu_) = 0;
+  RegistryStats stats_ SGM_GUARDED_BY(mu_);
 };
 
 }  // namespace sgm::serve

@@ -38,4 +38,10 @@ void gemm_nt_range(const Matrix& a, const Matrix& b, Matrix& c,
 /// stubs forward to gemm_generic otherwise).
 bool gemm_avx2_compiled();
 
+/// True when runtime dispatch selected the AVX2+FMA kernels for this
+/// process (compiled in AND the CPU reports avx2+fma). Tests use this to
+/// pick the right bitwise reference: the AVX2 edge paths round through
+/// std::fma, the generic ones through separate mul+add.
+bool gemm_avx2_active();
+
 }  // namespace sgm::tensor

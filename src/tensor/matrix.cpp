@@ -107,6 +107,10 @@ const GemmKernels& gemm_kernels() {
 
 }  // namespace
 
+bool gemm_avx2_active() {
+  return gemm_kernels().nn == &gemm_avx2::gemm_nn_range;
+}
+
 void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
              std::size_t r1, bool accumulate) {
   gemm_kernels().nn(a, b, c, r0, r1, accumulate);

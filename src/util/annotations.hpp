@@ -1,0 +1,53 @@
+#pragma once
+// Clang thread-safety-analysis attribute macros (SGM_GUARDED_BY and
+// friends). On clang the annotations feed -Wthread-safety, which statically
+// proves the locking discipline documented in docs/ARCHITECTURE.md; on gcc
+// and MSVC they expand to nothing, so the annotated tree stays portable.
+//
+// Usage is always through util::Mutex / util::MutexLock / util::CondVar
+// (util/mutex.hpp) — never raw std::mutex, which the analysis cannot see and
+// scripts/lint_determinism.py therefore bans outside that wrapper.
+//
+// Vocabulary (names follow the clang documentation):
+//   SGM_CAPABILITY("mutex")  — class is a lockable capability
+//   SGM_SCOPED_CAPABILITY    — RAII object acquiring/releasing a capability
+//   SGM_GUARDED_BY(mu)       — member may only be touched while mu is held
+//   SGM_PT_GUARDED_BY(mu)    — pointee guarded (the pointer itself is not)
+//   SGM_REQUIRES(mu)         — caller must already hold mu
+//   SGM_EXCLUDES(mu)         — caller must NOT hold mu (anti-deadlock)
+//   SGM_ACQUIRE/SGM_RELEASE  — function acquires / releases the capability
+//   SGM_TRY_ACQUIRE(b)       — acquires exactly when it returns b
+//   SGM_ASSERT_CAPABILITY    — runtime assertion that the capability is held
+//   SGM_NO_THREAD_SAFETY_ANALYSIS — opt a function body out (last resort)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SGM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SGM_THREAD_ANNOTATION
+#define SGM_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+#define SGM_CAPABILITY(x) SGM_THREAD_ANNOTATION(capability(x))
+#define SGM_SCOPED_CAPABILITY SGM_THREAD_ANNOTATION(scoped_lockable)
+#define SGM_GUARDED_BY(x) SGM_THREAD_ANNOTATION(guarded_by(x))
+#define SGM_PT_GUARDED_BY(x) SGM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define SGM_ACQUIRED_BEFORE(...) \
+  SGM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SGM_ACQUIRED_AFTER(...) \
+  SGM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define SGM_REQUIRES(...) \
+  SGM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SGM_ACQUIRE(...) \
+  SGM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SGM_RELEASE(...) \
+  SGM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SGM_TRY_ACQUIRE(...) \
+  SGM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SGM_EXCLUDES(...) SGM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SGM_ASSERT_CAPABILITY(x) \
+  SGM_THREAD_ANNOTATION(assert_capability(x))
+#define SGM_RETURN_CAPABILITY(x) SGM_THREAD_ANNOTATION(lock_returned(x))
+#define SGM_NO_THREAD_SAFETY_ANALYSIS \
+  SGM_THREAD_ANNOTATION(no_thread_safety_analysis)

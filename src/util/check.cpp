@@ -1,0 +1,14 @@
+#include "util/check.hpp"
+
+namespace sgm::util {
+
+bool audits_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("SGM_AUDIT");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return enabled;
+}
+
+}  // namespace sgm::util

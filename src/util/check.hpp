@@ -1,0 +1,122 @@
+#pragma once
+// Contract macros — the one way to state runtime invariants and boundary
+// preconditions in this codebase (replacing the former ad-hoc assert/throw
+// mix). Every failure message carries the failed expression and file:line,
+// so a violation in a soak log is attributable without a debugger.
+//
+//   SGM_CHECK(cond, ...)        always-on internal invariant; throws
+//                               util::CheckError (a std::runtime_error) —
+//                               firing means a bug in this library
+//   SGM_CHECK_ARG(cond, ...)    caller-input precondition at an API
+//                               boundary; throws std::invalid_argument
+//   SGM_CHECK_BOUNDS(cond, ...) index/range precondition; throws
+//                               std::out_of_range
+//   SGM_DCHECK(cond, ...)       debug-only invariant (hot paths); compiles
+//                               to nothing unless SGM_DEBUG_CHECKS is
+//                               defined (CMake defines it for Debug builds)
+//   SGM_AUDIT(expr)             heavy invariant sweep (graph symmetry, CSR
+//                               well-formedness, ...); evaluated only when
+//                               audits are enabled via the SGM_AUDIT=1
+//                               environment variable. The audit functions
+//                               themselves are plain functions built on
+//                               SGM_CHECK, so tests call them directly.
+//
+// Extra arguments after the condition are streamed into the message:
+//   SGM_CHECK(version > prev_, "registry version went backwards: ",
+//             version, " after ", prev_);
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sgm::util {
+
+/// Thrown by SGM_CHECK / SGM_DCHECK / audit failures. Derives from
+/// std::runtime_error so existing catch sites (and tests pinning
+/// std::runtime_error) treat an invariant violation as the internal error
+/// it is.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// True when the SGM_AUDIT environment variable is set to a value other
+/// than "" or "0" (read once per process).
+bool audits_enabled();
+
+namespace detail {
+
+template <class... Parts>
+std::string check_message(const char* kind, const char* expr,
+                          const char* file, int line, const Parts&... parts) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if constexpr (sizeof...(parts) > 0) {
+    os << ": ";
+    (os << ... << parts);
+  }
+  return os.str();
+}
+
+template <class Error, class... Parts>
+[[noreturn]] void check_fail(const char* kind, const char* expr,
+                             const char* file, int line,
+                             const Parts&... parts) {
+  throw Error(check_message(kind, expr, file, line, parts...));
+}
+
+template <class... Args>
+inline void ignore(const Args&...) {}
+
+}  // namespace detail
+}  // namespace sgm::util
+
+#define SGM_CHECK(cond, ...)                                             \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]]                                            \
+      ::sgm::util::detail::check_fail<::sgm::util::CheckError>(          \
+          "SGM_CHECK", #cond, __FILE__, __LINE__ __VA_OPT__(, )          \
+              __VA_ARGS__);                                              \
+  } while (false)
+
+#define SGM_CHECK_ARG(cond, ...)                                         \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]]                                            \
+      ::sgm::util::detail::check_fail<std::invalid_argument>(            \
+          "SGM_CHECK_ARG", #cond, __FILE__, __LINE__ __VA_OPT__(, )      \
+              __VA_ARGS__);                                              \
+  } while (false)
+
+#define SGM_CHECK_BOUNDS(cond, ...)                                      \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]]                                            \
+      ::sgm::util::detail::check_fail<std::out_of_range>(                \
+          "SGM_CHECK_BOUNDS", #cond, __FILE__, __LINE__ __VA_OPT__(, )   \
+              __VA_ARGS__);                                              \
+  } while (false)
+
+#ifdef SGM_DEBUG_CHECKS
+#define SGM_DCHECK(cond, ...)                                            \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]]                                            \
+      ::sgm::util::detail::check_fail<::sgm::util::CheckError>(          \
+          "SGM_DCHECK", #cond, __FILE__, __LINE__ __VA_OPT__(, )         \
+              __VA_ARGS__);                                              \
+  } while (false)
+#else
+// Release: never evaluated (zero cost on hot paths), but still compiled so
+// a DCHECK cannot bit-rot, and its operands do not trip -Wunused.
+#define SGM_DCHECK(cond, ...)                                  \
+  do {                                                         \
+    if (false) {                                               \
+      (void)(cond);                                            \
+      ::sgm::util::detail::ignore(__VA_ARGS__);                \
+    }                                                          \
+  } while (false)
+#endif
+
+#define SGM_AUDIT(expr)                          \
+  do {                                           \
+    if (::sgm::util::audits_enabled()) (expr);   \
+  } while (false)

@@ -1,0 +1,101 @@
+#pragma once
+// Capability-annotated mutex / scoped-lock / condition-variable wrappers —
+// the only locking primitives allowed in src/ (scripts/lint_determinism.py
+// bans raw std::mutex, std::lock_guard, std::unique_lock and
+// std::condition_variable everywhere else).
+//
+// Why a wrapper: clang's -Wthread-safety proves at compile time that every
+// access to a SGM_GUARDED_BY(mu) member happens with mu held, but it can
+// only reason about capabilities it can see. std::mutex carries no
+// annotations, so the analysis is blind to it; util::Mutex is the same
+// std::mutex with the capability attributes attached (zero overhead — every
+// method is an inline forward).
+//
+// Condition-variable idiom: CondVar waits on the annotated Mutex directly
+// (adopt-lock trick over std::condition_variable, so the futex fast path is
+// preserved). Write wait loops inline rather than with predicate lambdas —
+//
+//     MutexLock lock(mu_);
+//     while (!stop_ && queue_.empty()) cv_.wait(mu_);
+//
+// — because the analysis treats a lambda body as a separate unannotated
+// function and would (correctly) refuse to let it read guarded members.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace sgm::util {
+
+/// std::mutex with the clang capability attributes attached.
+class SGM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SGM_ACQUIRE() { m_.lock(); }
+  void unlock() SGM_RELEASE() { m_.unlock(); }
+  bool try_lock() SGM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII scoped lock over a Mutex (the std::lock_guard of this codebase).
+class SGM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SGM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SGM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on an annotated Mutex. The caller holds the
+/// Mutex (via MutexLock) around every wait, exactly as with
+/// std::condition_variable — SGM_REQUIRES(mu) lets the analysis check it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Spurious wakeups happen; always wait in a condition loop.
+  void wait(Mutex& mu) SGM_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait so
+    // std::condition_variable's fast path applies, then release the
+    // unique_lock's ownership claim without unlocking — the caller's
+    // MutexLock still owns the mutex, which wait() reacquired.
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// wait() with a deadline; returns std::cv_status::timeout when the
+  /// deadline passed before a notification.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      SGM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sgm::util

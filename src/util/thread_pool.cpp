@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -38,12 +38,9 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
+      if (queue_.empty()) return;  // only reachable when stop_ is set
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -54,7 +51,7 @@ void ThreadPool::worker_loop() {
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -94,7 +91,7 @@ void parallel_for_chunks(
   // Dynamic chunk claiming: which thread runs a chunk is scheduling-
   // dependent, but the chunk layout is not, so outputs stay deterministic.
   std::atomic<std::size_t> next{0};
-  std::mutex err_mu;
+  Mutex err_mu;
   std::exception_ptr first_error;
   auto runner = [&]() {
     for (;;) {
@@ -104,7 +101,7 @@ void parallel_for_chunks(
       try {
         fn(cb, std::min(end, cb + g), c);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
+        MutexLock lock(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
     }

@@ -12,16 +12,16 @@
 // *algorithm* (chunk layout + merge order) is fixed and only the *execution*
 // is concurrent. With one thread the chunks simply run inline, in order.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace sgm::util {
 
@@ -52,7 +52,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -74,10 +74,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SGM_GUARDED_BY(mu_);
+  bool stop_ SGM_GUARDED_BY(mu_) = false;
 };
 
 /// Number of chunks `parallel_for_chunks(begin, end, grain, ...)` produces.

@@ -1,0 +1,86 @@
+// Unit tests for the contract macros (src/util/check.hpp): exception
+// types, message structure, DCHECK's debug/release split and the
+// SGM_AUDIT environment gate.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace {
+
+using sgm::util::CheckError;
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(SGM_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(SGM_CHECK_ARG(true, "unused"));
+  EXPECT_NO_THROW(SGM_CHECK_BOUNDS(0 < 1));
+}
+
+TEST(Check, FailureThrowsCheckError) {
+  EXPECT_THROW(SGM_CHECK(false), CheckError);
+  // CheckError derives std::runtime_error so existing catch sites treat an
+  // invariant violation as the internal error it is.
+  EXPECT_THROW(SGM_CHECK(false), std::runtime_error);
+}
+
+TEST(Check, ArgAndBoundsFlavorsPreserveExceptionTypes) {
+  EXPECT_THROW(SGM_CHECK_ARG(false, "bad arg"), std::invalid_argument);
+  EXPECT_THROW(SGM_CHECK_BOUNDS(false, "bad index"), std::out_of_range);
+}
+
+TEST(Check, MessageCarriesExpressionFileLineAndParts) {
+  std::string what;
+  try {
+    const int version = 3, prev = 7;
+    SGM_CHECK(version > prev, "went backwards: ", version, " after ", prev);
+  } catch (const CheckError& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("SGM_CHECK failed"), std::string::npos) << what;
+  EXPECT_NE(what.find("version > prev"), std::string::npos) << what;
+  EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  EXPECT_NE(what.find("went backwards: 3 after 7"), std::string::npos)
+      << what;
+}
+
+TEST(Check, MessageWithoutPartsStillStructured) {
+  std::string what;
+  try {
+    SGM_CHECK_ARG(false);
+  } catch (const std::invalid_argument& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("SGM_CHECK_ARG failed: false"), std::string::npos)
+      << what;
+}
+
+TEST(Check, DcheckEvaluatesOnlyInDebugBuilds) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  SGM_DCHECK(touch());
+#ifdef SGM_DEBUG_CHECKS
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(SGM_DCHECK(false), CheckError);
+#else
+  // Release: compiled but never evaluated — zero cost on hot paths.
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_NO_THROW(SGM_DCHECK(false));
+#endif
+}
+
+TEST(Check, AuditGateFollowsEnvironment) {
+  int runs = 0;
+  auto sweep = [&runs] { ++runs; };
+  SGM_AUDIT(sweep());
+  // audits_enabled() reads SGM_AUDIT once per process; whichever way it
+  // resolved, the macro must agree with it.
+  EXPECT_EQ(runs, sgm::util::audits_enabled() ? 1 : 0);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include "graph/lanczos.hpp"
 #include "graph/laplacian.hpp"
 #include "graph/pcg.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -83,6 +84,56 @@ TEST(Csr, AverageDegreeAndTotalWeight) {
   CsrGraph g = cycle_graph(10, 2.0);
   EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
   EXPECT_DOUBLE_EQ(g.total_weight(), 20.0);
+}
+
+TEST(CsrAudit, AcceptsEveryFromEdgesResult) {
+  EXPECT_NO_THROW(CsrGraph::from_edges(0, {}).audit());
+  EXPECT_NO_THROW(path_graph(7).audit());
+  EXPECT_NO_THROW(cycle_graph(12, 0.5).audit());
+  // Duplicate merging and self-loop dropping still leave a canonical graph.
+  EXPECT_NO_THROW(
+      CsrGraph::from_edges(3, {{0, 1, 1.0}, {1, 0, 2.0}, {1, 1, 5.0}})
+          .audit());
+}
+
+TEST(CsrAudit, RejectsMalformedArrays) {
+  using sgm::graph::EdgeId;
+  using sgm::graph::NodeId;
+  using sgm::util::CheckError;
+  // A valid 3-node path 0-1-2 in raw-array form; each case below corrupts
+  // one structure that from_edges could never produce.
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 2.0}};
+  const std::vector<std::size_t> offsets{0, 1, 3, 4};
+  const std::vector<NodeId> nbr{1, 0, 2, 1};
+  const std::vector<EdgeId> inc{0, 0, 1, 1};
+  const std::vector<double> wdeg{1.0, 3.0, 2.0};
+  EXPECT_NO_THROW(
+      sgm::graph::audit_csr_arrays(3, edges, offsets, nbr, inc, wdeg));
+
+  // Non-canonical edge (v < u).
+  EXPECT_THROW(sgm::graph::audit_csr_arrays(3, {{1, 0, 1.0}, {1, 2, 2.0}},
+                                            offsets, nbr, inc, wdeg),
+               CheckError);
+  // Non-positive weight.
+  EXPECT_THROW(sgm::graph::audit_csr_arrays(3, {{0, 1, 0.0}, {1, 2, 2.0}},
+                                            offsets, nbr, inc, wdeg),
+               CheckError);
+  // Offsets not covering 2|E|.
+  EXPECT_THROW(
+      sgm::graph::audit_csr_arrays(3, edges, {0, 1, 3, 3}, nbr, inc, wdeg),
+      CheckError);
+  // Broken symmetry: node 2's row names the wrong neighbor.
+  EXPECT_THROW(
+      sgm::graph::audit_csr_arrays(3, edges, offsets, {1, 0, 2, 0}, inc, wdeg),
+      CheckError);
+  // Adjacency references an edge not incident to the row's node.
+  EXPECT_THROW(
+      sgm::graph::audit_csr_arrays(3, edges, offsets, nbr, {1, 0, 1, 1}, wdeg),
+      CheckError);
+  // Weighted degree out of sync with the edge list.
+  EXPECT_THROW(sgm::graph::audit_csr_arrays(3, edges, offsets, nbr, inc,
+                                            {1.0, 3.5, 2.0}),
+               CheckError);
 }
 
 // --------------------------------------------------------------- Laplacian --

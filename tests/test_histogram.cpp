@@ -1,0 +1,127 @@
+// Unit tests for the lock-free HDR-style latency histogram
+// (src/util/histogram.hpp): bucket geometry, quantile edge cases and the
+// empty/single-sample corners the serving metrics rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/histogram.hpp"
+
+namespace {
+
+using sgm::util::HistogramSnapshot;
+using sgm::util::LatencyHistogram;
+
+constexpr std::uint64_t kSubBuckets = 1ull << LatencyHistogram::kSubBucketBits;
+
+TEST(Histogram, FirstBucketsAreExactNanoseconds) {
+  for (std::uint64_t ns = 0; ns < kSubBuckets; ++ns) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(ns), ns);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_ns(ns), ns);
+  }
+}
+
+TEST(Histogram, BucketBoundariesRoundTrip) {
+  // Every bucket's inclusive upper bound must map back to that bucket, and
+  // the next nanosecond must start the next bucket (except at the top).
+  const std::size_t n = LatencyHistogram::bucket_count();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::uint64_t upper = LatencyHistogram::bucket_upper_ns(i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(upper), i) << "upper=" << upper;
+    EXPECT_EQ(LatencyHistogram::bucket_index(upper + 1), i + 1)
+        << "upper=" << upper;
+  }
+}
+
+TEST(Histogram, UpperBoundsStrictlyIncrease) {
+  const std::size_t n = LatencyHistogram::bucket_count();
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_LT(LatencyHistogram::bucket_upper_ns(i - 1),
+              LatencyHistogram::bucket_upper_ns(i));
+}
+
+TEST(Histogram, GeometricRelativeErrorBound) {
+  // 16 sub-buckets per octave: a bucket's width never exceeds 1/16 of its
+  // lower bound, which is what keeps quantile estimates within ~6%.
+  const std::size_t n = LatencyHistogram::bucket_count();
+  for (std::size_t i = kSubBuckets; i + 1 < n; ++i) {
+    const std::uint64_t lo = LatencyHistogram::bucket_upper_ns(i - 1) + 1;
+    const std::uint64_t hi = LatencyHistogram::bucket_upper_ns(i);
+    EXPECT_LE(hi - lo + 1, (lo + kSubBuckets - 1) / kSubBuckets)
+        << "bucket " << i;
+  }
+}
+
+TEST(Histogram, HugeDurationsClampIntoTopBucket) {
+  const std::size_t top = LatencyHistogram::bucket_count() - 1;
+  EXPECT_EQ(LatencyHistogram::bucket_index(1ull << 40), top);
+  EXPECT_EQ(LatencyHistogram::bucket_index(~0ull), top);
+}
+
+TEST(Histogram, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().mean_seconds(), 0.0);
+}
+
+TEST(Histogram, SingleSample) {
+  LatencyHistogram h;
+  h.record_ns(1000);
+  const std::uint64_t upper =
+      LatencyHistogram::bucket_upper_ns(LatencyHistogram::bucket_index(1000));
+  // With one sample, every quantile reports that sample's bucket bound.
+  for (double q : {0.0, 0.001, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), static_cast<double>(upper) * 1e-9) << q;
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.snapshot().mean_seconds(), 1000e-9);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ) {
+  LatencyHistogram h;
+  h.record_ns(5);
+  h.record_ns(500);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(42.0), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantilesSplitExactCounts) {
+  LatencyHistogram h;
+  // 10 samples in the exact single-ns buckets 1..10: quantiles are exact.
+  for (std::uint64_t ns = 1; ns <= 10; ++ns) h.record_ns(ns);
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 1e-9);   // ceil(0.1*10)=1st sample
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5e-9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.51), 6e-9);  // ceil rounds up
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10e-9);
+}
+
+TEST(Histogram, NegativeSecondsClampToZero) {
+  LatencyHistogram h;
+  h.record(-1.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.snapshot().counts[0], 1u);  // bucket 0 == 0 ns
+  EXPECT_DOUBLE_EQ(h.total_seconds(), 0.0);
+}
+
+TEST(Histogram, SumAndMeanTrackRecordedDurations) {
+  LatencyHistogram h;
+  h.record_ns(100);
+  h.record_ns(300);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.total, 2u);
+  EXPECT_EQ(snap.sum_ns, 400u);
+  EXPECT_DOUBLE_EQ(snap.mean_seconds(), 200e-9);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record_ns(123456);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+}  // namespace

@@ -27,6 +27,7 @@
 #include "serve/http_server.hpp"
 #include "serve/metrics.hpp"
 #include "serve/model_registry.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/socket.hpp"
 
@@ -155,6 +156,37 @@ TEST_F(ServeTest, RegistryVersionsAreMonotonicAndOldOnesStayOnDisk) {
   sgm::util::Rng rng2(23);
   Mlp v3(small_config(), rng2);
   EXPECT_EQ(reopened.publish("s", v3), 3u);
+}
+
+TEST_F(ServeTest, RegistryAuditHoldsThroughLifecycleAndCatchesTampering) {
+  sgm::serve::RegistryOptions opt;
+  opt.cache_capacity = 2;
+  ModelRegistry registry(root_, opt);
+  sgm::util::Rng rng(29);
+  Mlp net(small_config(), rng);
+
+  // The invariant sweep must hold at every lifecycle step: publish, cached
+  // and loading acquires, pin-induced overflow, unpin, eviction.
+  registry.audit();
+  registry.publish("a", net);
+  registry.audit();
+  (void)registry.acquire("a");
+  registry.publish("a", net);  // hot-swap of a resident entry
+  registry.audit();
+  registry.publish("b", net);
+  registry.publish("c", net);
+  registry.pin("a");
+  registry.pin("b");
+  registry.pin("c");  // all pinned: 3 resident > capacity 2 is legal
+  registry.audit();
+  registry.unpin("b");  // eviction brings the cache back under capacity
+  registry.audit();
+
+  // Deleting a resident version's backing checkpoint out from under the
+  // registry is exactly what the audit exists to catch.
+  const std::uint64_t v = registry.acquire("a")->info.meta.model_version;
+  fs::remove(fs::path(root_) / "a" / ("v" + std::to_string(v) + ".ckpt"));
+  EXPECT_THROW(registry.audit(), sgm::util::CheckError);
 }
 
 TEST_F(ServeTest, RegistryLruEvictsOldestUnpinnedAndPinProtects) {

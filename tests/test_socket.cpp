@@ -1,0 +1,134 @@
+// Unit tests for the POSIX TCP wrappers (src/util/socket.hpp), focused on
+// the error paths the HTTP front end depends on: orderly-shutdown reads,
+// writes to a vanished peer, receive timeouts, the listener's wake-pipe
+// close() contract and connect failures.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/socket.hpp"
+
+namespace {
+
+using sgm::util::TcpListener;
+using sgm::util::TcpSocket;
+using sgm::util::tcp_connect;
+
+// Accepted server end + connected client end of one loopback connection.
+struct Loopback {
+  TcpSocket server, client;
+};
+
+Loopback make_loopback(TcpListener& listener) {
+  Loopback lb;
+  std::thread accepter([&] { lb.server = listener.accept(); });
+  lb.client = tcp_connect(listener.port());
+  accepter.join();
+  return lb;
+}
+
+TEST(Socket, EphemeralPortIsAssigned) {
+  TcpListener listener(0);
+  EXPECT_NE(listener.port(), 0);
+}
+
+TEST(Socket, RoundTrip) {
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+  ASSERT_TRUE(lb.server.valid());
+  ASSERT_TRUE(lb.client.valid());
+
+  const std::string msg = "ping";
+  ASSERT_TRUE(lb.client.write_all(msg));
+  char buf[16];
+  long got = lb.server.read_some(buf, sizeof(buf));
+  ASSERT_GT(got, 0);
+  EXPECT_EQ(std::string(buf, static_cast<std::size_t>(got)), msg);
+}
+
+TEST(Socket, ReadReturnsZeroOnOrderlyPeerShutdown) {
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+  lb.client.close();
+  char buf[8];
+  EXPECT_EQ(lb.server.read_some(buf, sizeof(buf)), 0);
+}
+
+TEST(Socket, WriteToClosedPeerFailsWithoutSigpipe) {
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+  lb.server.close();
+  // The first writes may land in kernel buffers; keep pushing until the
+  // RST surfaces. MSG_NOSIGNAL means we observe `false`, not SIGPIPE
+  // killing the process.
+  const std::string chunk(64 * 1024, 'x');
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i)
+    failed = !lb.client.write_all(chunk);
+  EXPECT_TRUE(failed);
+}
+
+TEST(Socket, InvalidSocketOperationsFail) {
+  TcpSocket s;
+  EXPECT_FALSE(s.valid());
+  char buf[4];
+  EXPECT_EQ(s.read_some(buf, sizeof(buf)), -1);
+  EXPECT_FALSE(s.write_all("x", 1));
+}
+
+TEST(Socket, MoveTransfersOwnership) {
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+  const int fd = lb.client.fd();
+  TcpSocket moved = std::move(lb.client);
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(lb.client.valid());
+  EXPECT_TRUE(moved.write_all("still open", 10));
+}
+
+TEST(Socket, RecvTimeoutUnblocksIdleRead) {
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+  lb.server.set_recv_timeout(0.05);
+  char buf[8];
+  // No data ever arrives: the read must return an error instead of
+  // parking the thread forever (the keep-alive guard in the HTTP server).
+  EXPECT_EQ(lb.server.read_some(buf, sizeof(buf)), -1);
+}
+
+TEST(Socket, CloseUnblocksPendingAccept) {
+  TcpListener listener(0);
+  TcpSocket accepted;
+  std::thread accepter([&] { accepted = listener.accept(); });
+  // Give the acceptor time to park in poll(), then close from this thread:
+  // the wake pipe must unblock it with an invalid socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  listener.close();
+  accepter.join();
+  EXPECT_FALSE(accepted.valid());
+}
+
+TEST(Socket, AcceptAfterCloseReturnsInvalid) {
+  TcpListener listener(0);
+  listener.close();
+  EXPECT_FALSE(listener.accept().valid());
+}
+
+TEST(Socket, ConnectToDeadPortThrows) {
+  // Bind an ephemeral port, then close it: connecting to it afterwards
+  // must be refused (nothing is listening there anymore).
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.close();
+  }
+  EXPECT_THROW(tcp_connect(dead_port), std::runtime_error);
+}
+
+}  // namespace

@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 
 #include "nn/activation.hpp"
+#include "tensor/gemm_dispatch.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tape.hpp"
@@ -303,6 +306,93 @@ TEST(Ops, ShapeErrorsThrow) {
   EXPECT_THROW(ops::col(t, a, 5), std::out_of_range);
   VarId rv = t.constant(Matrix(1, 3));
   EXPECT_THROW(ops::add_rowvec(t, a, rv), std::invalid_argument);
+}
+
+// ------------------------------------------------- FP contraction guard --
+// The GEMM determinism contract (gemm_kernels.inl) requires every path —
+// tile loops, row edges, column edges, AVX2 and generic builds of the same
+// source — to apply ONE rounding regime uniformly. The kernel TUs are
+// compiled with -ffp-contract=off, but gcc 12 still emits FMA for these
+// reduction loops when -mfma is enabled (vfmadd231sd in the scalar edge
+// loops and vfmadd231pd in the tile loops of the AVX2 TU), while clang
+// honors the flag and rounds mul and add separately. Both regimes are
+// deterministic; what breaks bitwise batched≡single inference is a MIX —
+// e.g. a vectorized body that contracts while its scalar epilogue does not,
+// the exact bug class PR 6 fixed by hand. These tests therefore pin, with
+// bitwise comparisons, that (a) the edge path matches either the
+// separate-rounding chain or the std::fma chain for EVERY element — never a
+// blend — and (b) tile and edge paths agree bitwise. This TU is itself
+// built with -ffp-contract=off (CMakeLists) so the `plain` reference loop
+// below rounds each step separately.
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+TEST(GemmContraction, RowEdgeRoundingIsUniformAndPinned) {
+  // A 1-row matmul runs entirely in the scalar row-edge path, whichever
+  // kernel build dispatch selected.
+  constexpr std::size_t kK = 64, kN = 3;
+  sgm::util::Rng rng(17);
+  Matrix a = random_matrix(1, kK, rng);
+  Matrix b = random_matrix(kK, kN, rng);
+  Matrix c = sgm::tensor::matmul(a, b);
+
+  bool some_element_is_fma_sensitive = false;
+  bool all_plain = true, all_fused = true;
+  for (std::size_t j = 0; j < kN; ++j) {
+    double plain = 0.0;  // separate rounding: mul rounds, then add rounds
+    double fused = 0.0;  // contracted: each step rounds once, via std::fma
+    for (std::size_t p = 0; p < kK; ++p) {
+      const double prod = a(0, p) * b(p, j);
+      plain += prod;
+      fused = std::fma(a(0, p), b(p, j), fused);
+    }
+    if (!bits_equal(plain, fused)) some_element_is_fma_sensitive = true;
+    if (!bits_equal(c(0, j), plain)) all_plain = false;
+    if (!bits_equal(c(0, j), fused)) all_fused = false;
+  }
+  // The inputs must actually distinguish the two roundings, or the check
+  // below proves nothing.
+  ASSERT_TRUE(some_element_is_fma_sensitive);
+  // One regime, uniformly: every element matches the separate-rounding
+  // reference, or every element matches the std::fma chain bitwise. A blend
+  // means the compiler contracted only part of the edge loop — the
+  // determinism contract is broken and the kernel flags need attention.
+  EXPECT_TRUE(all_plain || all_fused)
+      << "edge path mixes contracted and separate rounding "
+      << "(gemm_avx2_active=" << sgm::tensor::gemm_avx2_active() << ")";
+  // The two regimes disagree on at least one element, so exactly one holds.
+  EXPECT_NE(all_plain, all_fused);
+}
+
+TEST(GemmContraction, TileAndEdgePathsAgreeBitwise) {
+  // Five identical rows: rows 0-3 run through the register-blocked tile
+  // path, row 4 through the scalar row edge; 11 columns exercise the
+  // column-edge path too (8-wide tile + 3-wide edge). Any rounding
+  // difference between paths (e.g. contraction in just one of them) breaks
+  // the bitwise equality.
+  constexpr std::size_t kK = 37, kN = 11, kRows = 5;
+  sgm::util::Rng rng(23);
+  Matrix row = random_matrix(1, kK, rng);
+  Matrix b = random_matrix(kK, kN, rng);
+  Matrix a(kRows, kK);
+  for (std::size_t i = 0; i < kRows; ++i)
+    for (std::size_t p = 0; p < kK; ++p) a(i, p) = row(0, p);
+
+  Matrix c = sgm::tensor::matmul(a, b);
+  Matrix c_single = sgm::tensor::matmul(row, b);
+  for (std::size_t i = 0; i < kRows; ++i)
+    for (std::size_t j = 0; j < kN; ++j)
+      EXPECT_TRUE(bits_equal(c(i, j), c_single(0, j)))
+          << "row " << i << " col " << j
+          << " rounds differently from the single-row edge path";
+}
+
+TEST(GemmContraction, Avx2DispatchConsistent) {
+  if (!sgm::tensor::gemm_avx2_compiled()) {
+    EXPECT_FALSE(sgm::tensor::gemm_avx2_active());
+  }
 }
 
 }  // namespace
