@@ -9,17 +9,25 @@
 // from the engine's own HDR histogram) and the realized mean batch size —
 // the number that explains the throughput curve.
 //
+// Queue arms: `--arm ring` (default; PR 8 MPSC ring + pooled response
+// slots) or `--arm mutex` (the PR 6 mutex + promise/future path, kept for
+// same-machine A/B). Also settable via SGM_BENCH_SERVE_ARM.
+//
 // Env knobs:
 //   SGM_BENCH_SERVE_SECONDS  wall seconds per arm          (default 2)
 //   SGM_BENCH_SERVE_CLIENTS  comma list of client counts   (default 1,4,16,64)
 //   SGM_BENCH_SERVE_BATCH    batcher max_batch             (default 64)
+//   SGM_BENCH_SERVE_ARM      ring | mutex                  (default ring)
 //   SGM_BENCH_THREADS        forward threads per batch     (default 2)
 //   SGM_BENCH_JSON=1         write BENCH_serve.json next to the binary
-//                            (uploaded by the serve-smoke CI job; baseline
-//                            committed at bench/baselines/BENCH_serve_pr6.json)
+//                            (uploaded by the serve-smoke CI job; baselines
+//                            committed at bench/baselines/BENCH_serve_pr6.json
+//                            [mutex] and BENCH_serve_pr8_ring.json [ring])
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -85,12 +93,17 @@ struct ArmResult {
 
 ArmResult run_arm(serve::ModelRegistry& registry, const std::string& scenario,
                   std::size_t input_dim, std::size_t clients, double seconds,
-                  std::size_t max_batch, std::size_t num_threads) {
+                  std::size_t max_batch, std::size_t num_threads,
+                  serve::QueueMode mode) {
   serve::ServeMetrics metrics;
   serve::BatcherOptions opt;
   opt.max_batch = max_batch;
   opt.max_delay_s = 100e-6;
   opt.num_threads = num_threads;
+  opt.mode = mode;
+  // Closed-loop clients never have more than `clients` queries in flight,
+  // but keep headroom so the pool never backpressures the benchmark itself.
+  opt.queue_capacity = std::max<std::size_t>(1024, 4 * clients);
   serve::InferenceBatcher batcher(registry, opt, &metrics);
 
   // Pre-generate each client's probe set so the hot loop is queries only.
@@ -149,11 +162,12 @@ ArmResult run_arm(serve::ModelRegistry& registry, const std::string& scenario,
 
 void maybe_write_json(const std::vector<ArmResult>& arms,
                       const std::string& scenario, std::size_t max_batch,
-                      std::size_t num_threads) {
+                      std::size_t num_threads, const std::string& arm) {
   const char* env = std::getenv("SGM_BENCH_JSON");
   if (!env || std::string(env) == "0") return;
   std::ofstream out("BENCH_serve.json");
-  out << "{\n  \"bench\": \"serve\",\n  \"scenario\": \"" << scenario
+  out << "{\n  \"bench\": \"serve\",\n  \"arm\": \"" << arm
+      << "\",\n  \"scenario\": \"" << scenario
       << "\",\n  \"max_batch\": " << max_batch
       << ",\n  \"num_threads\": " << num_threads << ",\n  \"arms\": [\n";
   for (std::size_t i = 0; i < arms.size(); ++i) {
@@ -177,11 +191,24 @@ void maybe_write_json(const std::vector<ArmResult>& arms,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const double seconds = env_double("SGM_BENCH_SERVE_SECONDS", 2.0);
   const std::size_t max_batch = env_size_t("SGM_BENCH_SERVE_BATCH", 64);
   const std::size_t num_threads = env_size_t("SGM_BENCH_THREADS", 2);
   const std::string scenario = "poisson2d";
+
+  // --arm ring|mutex (or SGM_BENCH_SERVE_ARM); ring is the default path.
+  std::string arm = "ring";
+  if (const char* v = std::getenv("SGM_BENCH_SERVE_ARM")) arm = v;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--arm") == 0) arm = argv[i + 1];
+  }
+  if (arm != "ring" && arm != "mutex") {
+    std::fprintf(stderr, "unknown arm '%s' (want ring|mutex)\n", arm.c_str());
+    return 2;
+  }
+  const serve::QueueMode mode =
+      arm == "ring" ? serve::QueueMode::kRing : serve::QueueMode::kMutex;
 
   const auto cfg = pinn::ScenarioRegistry::instance().make(
       scenario, pinn::ScenarioScale::kSmoke);
@@ -197,10 +224,10 @@ int main() {
   registry.pin(scenario);
 
   std::printf(
-      "=== serve throughput: %s %zux%zu net, max_batch %zu, %zu forward "
-      "threads, %.1fs per arm ===\n",
-      scenario.c_str(), cfg.net.width, cfg.net.depth, max_batch, num_threads,
-      seconds);
+      "=== serve throughput [%s queue]: %s %zux%zu net, max_batch %zu, %zu "
+      "forward threads, %.1fs per arm ===\n",
+      arm.c_str(), scenario.c_str(), cfg.net.width, cfg.net.depth, max_batch,
+      num_threads, seconds);
   std::printf("%8s %12s %12s %10s %10s %10s %11s %10s\n", "clients",
               "queries", "queries/s", "p50_us", "p99_us", "p999_us",
               "mean_batch", "full_frac");
@@ -208,14 +235,15 @@ int main() {
   std::vector<ArmResult> arms;
   for (const std::size_t clients : client_counts()) {
     const ArmResult r = run_arm(registry, scenario, cfg.net.input_dim,
-                                clients, seconds, max_batch, num_threads);
+                                clients, seconds, max_batch, num_threads,
+                                mode);
     std::printf("%8zu %12llu %12.0f %10.2f %10.2f %10.2f %11.2f %10.3f\n",
                 r.clients, static_cast<unsigned long long>(r.queries), r.qps,
                 r.p50_us, r.p99_us, r.p999_us, r.mean_batch,
                 r.full_flush_fraction);
     arms.push_back(r);
   }
-  maybe_write_json(arms, scenario, max_batch, num_threads);
+  maybe_write_json(arms, scenario, max_batch, num_threads, arm);
   fs::remove_all(root);
   return 0;
 }

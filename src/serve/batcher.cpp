@@ -1,8 +1,10 @@
 #include "serve/batcher.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "util/check.hpp"
@@ -27,8 +29,53 @@ enum class ErrKind : std::uint8_t {
   kRuntime,
 };
 
+[[noreturn]] void rethrow(ErrKind kind, const std::string& message) {
+  switch (kind) {
+    case ErrKind::kOutOfRange:
+      throw std::out_of_range(message);
+    case ErrKind::kInvalidArgument:
+      throw std::invalid_argument(message);
+    default:
+      throw std::runtime_error(message);
+  }
+}
+
+// Slot completion phases; a slot's state word is generation * 4 + phase.
+constexpr std::uint64_t kPhaseFree = 0;
+constexpr std::uint64_t kPhaseQueued = 1;
+constexpr std::uint64_t kPhaseDone = 2;
+
+// Spinning only helps when another core can complete the awaited work
+// concurrently; on a single-CPU host every spin cycle starves the thread
+// being waited on, so all spin budgets collapse to zero there and waiters
+// yield or park instead.
+const bool kMultiCore = std::thread::hardware_concurrency() > 1;
+
+// Client-side spin budget before parking on the slot (~a few µs: a loaded
+// multi-core server completes a batch well inside it).
+const int kClientSpins = kMultiCore ? 128 : 0;
+// Worker-side spin budget before parking on the gate.
+const int kWorkerSpins = kMultiCore ? 256 : 0;
+// Yields the batch-collect loop spends giving producers the CPU before it
+// pays for a full gate park/unpark cycle per arrival.
+constexpr int kCollectYields = 64;
+
+// Bounded spin escalating to sched yield — for the retry loops that can
+// only fail transiently (a peer claimed a ring slot but has not recycled
+// its sequence yet). The yield guarantees progress on one core, where the
+// peer cannot run while we spin.
+inline void backoff(int& spins) {
+  if (kMultiCore && spins < 256) {
+    util::cpu_relax();
+    ++spins;
+  } else {
+    std::this_thread::yield();
+  }
+}
+
 }  // namespace
 
+// Legacy (mutex-mode) request record.
 struct InferenceBatcher::Pending {
   std::string scenario;
   std::vector<double> x;
@@ -54,21 +101,384 @@ struct InferenceBatcher::Pending {
   }
 };
 
+// Pooled response slot (ring mode). Ownership handoff:
+//   client: pops the index off the freelist (exclusive owner), writes the
+//           request fields, pushes the index onto the request ring — the
+//           ring's release/acquire pair publishes the request to the
+//           worker — then spins-then-parks on `state`;
+//   worker: writes the response fields and publishes them with a release
+//           store of `state` = generation*4 + kPhaseDone (complete_slot);
+//   client: observes kPhaseDone (acquire), reads the response, bumps the
+//           generation and returns the index to the freelist.
+// The generation tag makes a recycled slot's state word unambiguous: a
+// stale reader from a previous life can never mistake the new life's
+// kPhaseDone for its own (its expected word differs in the generation
+// bits). `parked`/`mu`/`cv` implement the spin-then-wait: the worker takes
+// the slot mutex only when the client actually parked.
+struct alignas(64) InferenceBatcher::Slot {
+  // Request (client writes, worker reads; published by the ring push).
+  std::string scenario;
+  std::vector<double> x;
+  util::WallTimer since_enqueue;
+  Clock::time_point deadline;
+  // Response (worker writes, client reads; published by `state`).
+  Response resp;
+  ErrKind err = ErrKind::kNone;
+  std::string message;
+  // Completion protocol. `parked` is an integer so both sides of its
+  // Dekker pairing can use RMWs (see complete_slot).
+  std::atomic<std::uint64_t> state{kPhaseFree};
+  std::atomic<std::uint32_t> parked{0};
+  util::Mutex mu;
+  util::CondVar cv;
+  std::uint64_t generation = 0;  ///< written only by the current owner
+};
+
 InferenceBatcher::InferenceBatcher(ModelRegistry& registry, BatcherOptions opt,
                                    ServeMetrics* metrics)
     : registry_(registry), opt_(opt), metrics_(metrics) {
   SGM_CHECK_ARG(opt_.max_batch >= 1, "InferenceBatcher: max_batch must be >= 1");
   SGM_CHECK_ARG(opt_.num_workers >= 1,
                 "InferenceBatcher: num_workers must be >= 1");
+  if (opt_.mode == QueueMode::kRing) {
+    SGM_CHECK_ARG(opt_.queue_capacity >= 2,
+                  "InferenceBatcher: queue_capacity must be >= 2");
+    ring_ = std::make_unique<util::MpscRing<std::uint32_t>>(opt_.queue_capacity);
+    freelist_ =
+        std::make_unique<util::MpscRing<std::uint32_t>>(ring_->capacity());
+    slots_ = std::make_unique<Slot[]>(ring_->capacity());
+    for (std::uint32_t i = 0; i < ring_->capacity(); ++i) {
+      const bool ok = freelist_->try_push(i);
+      SGM_CHECK(ok, "freelist seeding overflowed at slot ", i);
+    }
+  }
   workers_.reserve(opt_.num_workers);
   for (std::size_t i = 0; i < opt_.num_workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this] {
+      if (opt_.mode == QueueMode::kRing)
+        ring_worker_loop();
+      else
+        mutex_worker_loop();
+    });
 }
 
 InferenceBatcher::~InferenceBatcher() { stop(); }
 
 InferenceBatcher::Response InferenceBatcher::query(const std::string& scenario,
                                                    std::vector<double> x) {
+  return opt_.mode == QueueMode::kRing ? ring_query(scenario, std::move(x))
+                                       : mutex_query(scenario, std::move(x));
+}
+
+void InferenceBatcher::count_flush(std::size_t batch_size) {
+  if (!metrics_ || batch_size == 0) return;
+  metrics_->batches_total.fetch_add(1, std::memory_order_relaxed);
+  if (batch_size >= opt_.max_batch)
+    metrics_->full_flushes_total.fetch_add(1, std::memory_order_relaxed);
+  else
+    metrics_->deadline_flushes_total.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Ring mode
+// ---------------------------------------------------------------------------
+
+InferenceBatcher::Response InferenceBatcher::ring_query(
+    const std::string& scenario, std::vector<double>&& x) {
+  if (stop_flag_.load(std::memory_order_acquire))
+    throw std::runtime_error("InferenceBatcher: query after stop()");
+  std::uint32_t idx = 0;
+  if (!freelist_->try_pop(idx)) {
+    // Bounded queue full: shed load now instead of queueing unboundedly.
+    if (metrics_)
+      metrics_->rejected_total.fetch_add(1, std::memory_order_relaxed);
+    throw QueueFullError("InferenceBatcher: request queue full (capacity " +
+                         std::to_string(ring_->capacity()) + ")");
+  }
+  Slot& slot = slots_[idx];
+  const std::uint64_t gen = slot.generation;
+  slot.scenario = scenario;
+  slot.x = std::move(x);
+  slot.err = ErrKind::kNone;
+  slot.message.clear();
+  slot.since_enqueue.reset();
+  slot.deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opt_.max_delay_s));
+  slot.state.store(gen * 4 + kPhaseQueued, std::memory_order_relaxed);
+
+  // Dekker pair with stop(): either this push lands before stop() starts
+  // its final drain (stop spins until pending_pushes_ is 0), or the
+  // stop_flag_ recheck below sees the stop and backs out.
+  pending_pushes_.fetch_add(1, std::memory_order_seq_cst);
+  if (stop_flag_.load(std::memory_order_seq_cst)) {
+    pending_pushes_.fetch_sub(1, std::memory_order_release);
+    slot.generation = gen + 1;
+    slot.state.store((gen + 1) * 4 + kPhaseFree, std::memory_order_release);
+    for (int s = 0; !freelist_->try_push(idx);) backoff(s);
+    throw std::runtime_error("InferenceBatcher: query after stop()");
+  }
+  // Occupancy never exceeds the slot count == ring capacity, so a push can
+  // only fail in the few-instruction window where a popping worker has
+  // claimed the head but not yet recycled the slot sequence; back it off.
+  for (int s = 0; !ring_->try_push(idx);) backoff(s);
+  pending_pushes_.fetch_sub(1, std::memory_order_release);
+  gate_.notify();
+
+  // Spin-then-park on the slot until the worker publishes the response.
+  const std::uint64_t want = gen * 4 + kPhaseDone;
+  bool done = false;
+  for (int i = 0; i < kClientSpins; ++i) {
+    if (slot.state.load(std::memory_order_acquire) == want) {
+      done = true;
+      break;
+    }
+    util::cpu_relax();
+  }
+  if (!done) {
+    slot.parked.exchange(1, std::memory_order_seq_cst);
+    {
+      util::MutexLock lock(slot.mu);
+      while (slot.state.load(std::memory_order_acquire) != want)
+        slot.cv.wait(slot.mu);
+    }
+    slot.parked.store(0, std::memory_order_relaxed);
+  }
+
+  const ErrKind err = slot.err;
+  Response resp;
+  std::string message;
+  if (err == ErrKind::kNone)
+    resp = std::move(slot.resp);
+  else
+    message = std::move(slot.message);
+  // Recycle: bump the generation so any stale observer of the old state
+  // word can never match, then hand the slot back to the pool.
+  slot.generation = gen + 1;
+  slot.state.store((gen + 1) * 4 + kPhaseFree, std::memory_order_release);
+  for (int s = 0; !freelist_->try_push(idx);) backoff(s);
+  if (err != ErrKind::kNone) rethrow(err, message);
+  return resp;
+}
+
+void InferenceBatcher::complete_slot(Slot& slot) {
+  const std::uint64_t gen = slot.state.load(std::memory_order_relaxed) / 4;
+  slot.state.store(gen * 4 + kPhaseDone, std::memory_order_release);
+  // Dekker pair with the client's parked publication, fence-free (TSan
+  // cannot model fences): both sides RMW `parked` seq_cst. If this identity
+  // RMW reads 0, the client's exchange(1) is later in the modification
+  // order and reads-from this write — the synchronizes-with edge orders the
+  // kPhaseDone store above before the client's post-exchange state recheck,
+  // so the client cannot park on a completed slot. If it reads 1, notify.
+  if (slot.parked.fetch_add(0, std::memory_order_seq_cst) != 0) {
+    { util::MutexLock lock(slot.mu); }  // order the wakeup after the wait
+    slot.cv.notify_one();
+  }
+}
+
+void InferenceBatcher::fail_slot(Slot& slot, std::uint8_t err,
+                                 const std::string& message) {
+  slot.err = static_cast<ErrKind>(err);
+  slot.message = message;
+  complete_slot(slot);
+}
+
+void InferenceBatcher::drain_ring_failing() {
+  std::uint32_t idx = 0;
+  while (ring_->try_pop(idx))
+    fail_slot(slots_[idx], static_cast<std::uint8_t>(ErrKind::kRuntime),
+              "InferenceBatcher: stopped before serving");
+}
+
+void InferenceBatcher::ring_worker_loop() {
+  // Requests popped for a different scenario than the batch under assembly
+  // wait here; the next iteration serves them first (oldest first).
+  std::vector<std::uint32_t> stash;
+  std::vector<std::uint32_t> batch;
+  const auto stop_drain = [this, &stash] {
+    for (const std::uint32_t idx : stash)
+      fail_slot(slots_[idx], static_cast<std::uint8_t>(ErrKind::kRuntime),
+                "InferenceBatcher: stopped before serving");
+    stash.clear();
+    drain_ring_failing();
+  };
+  for (;;) {
+    // --- obtain the batch's first (oldest) member -------------------------
+    std::uint32_t first = 0;
+    bool have_first = false;
+    if (!stash.empty()) {
+      first = stash.front();
+      stash.erase(stash.begin());
+      have_first = true;
+    }
+    while (!have_first) {
+      if (stop_flag_.load(std::memory_order_acquire)) {
+        stop_drain();
+        return;
+      }
+      if (ring_->try_pop(first)) {
+        have_first = true;
+        break;
+      }
+      for (int i = 0; i < kWorkerSpins && !have_first; ++i) {
+        util::cpu_relax();
+        have_first = ring_->try_pop(first);
+      }
+      if (have_first) break;
+      const util::RingGate::Ticket ticket = gate_.prepare_wait();
+      if (ring_->try_pop(first)) {  // mandatory recheck (see RingGate)
+        gate_.cancel_wait();
+        have_first = true;
+        break;
+      }
+      if (stop_flag_.load(std::memory_order_acquire)) {
+        gate_.cancel_wait();
+        stop_drain();
+        return;
+      }
+      gate_.wait(ticket);
+    }
+
+    const std::string scenario = slots_[first].scenario;
+    const Clock::time_point deadline = slots_[first].deadline;
+    batch.clear();
+    batch.push_back(first);
+
+    // --- coalesce: stashed entries first, then new arrivals ---------------
+    for (auto it = stash.begin();
+         it != stash.end() && batch.size() < opt_.max_batch;) {
+      if (slots_[*it].scenario == scenario) {
+        batch.push_back(*it);
+        it = stash.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Deadline flush: a partial batch waits for stragglers only until the
+    // oldest member's deadline, bounding tail latency at low load.
+    int yields = 0;
+    while (batch.size() < opt_.max_batch &&
+           !stop_flag_.load(std::memory_order_acquire)) {
+      std::uint32_t idx = 0;
+      if (ring_->try_pop(idx)) {
+        (slots_[idx].scenario == scenario ? batch : stash).push_back(idx);
+        yields = 0;
+        continue;
+      }
+      if (Clock::now() >= deadline) break;
+      // Give producers the CPU first: a woken client pushes through the
+      // gate's no-waiter fast path (no lock, no futex), so under load the
+      // batch fills without a park/unpark syscall pair per arrival.
+      if (yields < kCollectYields) {
+        ++yields;
+        std::this_thread::yield();
+        continue;
+      }
+      const util::RingGate::Ticket ticket = gate_.prepare_wait();
+      if (ring_->try_pop(idx)) {
+        gate_.cancel_wait();
+        (slots_[idx].scenario == scenario ? batch : stash).push_back(idx);
+        continue;
+      }
+      if (stop_flag_.load(std::memory_order_acquire)) {
+        gate_.cancel_wait();
+        break;
+      }
+      if (!gate_.wait_until(ticket, deadline)) break;
+    }
+
+    count_flush(batch.size());
+    serve_slots(batch);
+  }
+}
+
+void InferenceBatcher::serve_slots(const std::vector<std::uint32_t>& batch) {
+  if (batch.empty()) return;
+
+  // One acquire per batch: every response below carries this version.
+  ServedModelPtr served;
+  try {
+    served = registry_.acquire(slots_[batch.front()].scenario);
+  } catch (const std::exception& e) {
+    if (metrics_)
+      metrics_->query_errors_total.fetch_add(batch.size(),
+                                             std::memory_order_relaxed);
+    const ErrKind kind = dynamic_cast<const std::out_of_range*>(&e)
+                             ? ErrKind::kOutOfRange
+                             : ErrKind::kRuntime;
+    for (const std::uint32_t idx : batch)
+      fail_slot(slots_[idx], static_cast<std::uint8_t>(kind), e.what());
+    return;
+  }
+  const nn::Mlp& net = *served->model;
+  const std::size_t in_dim = net.config().input_dim;
+  const std::size_t out_dim = net.config().output_dim;
+
+  // Per-worker pooled buffers (thread_local: serve_slots only runs on
+  // worker threads, and each worker reuses its own capacity run-to-run).
+  thread_local tensor::Matrix xb, yb;
+  thread_local nn::Mlp::ForwardWorkspace ws;
+
+  std::vector<Slot*> valid;
+  valid.reserve(batch.size());
+  for (const std::uint32_t idx : batch) {
+    Slot& slot = slots_[idx];
+    if (slot.x.size() == in_dim) {
+      valid.push_back(&slot);
+      continue;
+    }
+    if (metrics_)
+      metrics_->query_errors_total.fetch_add(1, std::memory_order_relaxed);
+    fail_slot(slot, static_cast<std::uint8_t>(ErrKind::kInvalidArgument),
+              "InferenceBatcher: query width " + std::to_string(slot.x.size()) +
+                  " != input_dim " + std::to_string(in_dim));
+  }
+  if (valid.empty()) return;
+
+  xb.resize(valid.size(), in_dim);
+  for (std::size_t r = 0; r < valid.size(); ++r) {
+    double* row = xb.row(r);
+    for (std::size_t c = 0; c < in_dim; ++c) row[c] = valid[r]->x[c];
+  }
+  try {
+    net.forward_batched(xb, yb, ws, opt_.num_threads);
+  } catch (const std::exception& e) {
+    if (metrics_)
+      metrics_->query_errors_total.fetch_add(valid.size(),
+                                             std::memory_order_relaxed);
+    for (Slot* slot : valid)
+      fail_slot(*slot, static_cast<std::uint8_t>(ErrKind::kRuntime), e.what());
+    return;
+  }
+  SGM_CHECK(yb.rows() == valid.size() && yb.cols() == out_dim,
+            "forward_batched returned ", yb.rows(), "x", yb.cols(),
+            " for a ", valid.size(), "-query batch of width ", out_dim);
+
+  // Counters first, fulfillment second: a client that has its response in
+  // hand must already be visible in the metrics (complete_slot unblocks the
+  // caller immediately, so anything after it races with the client).
+  if (metrics_) {
+    metrics_->batched_queries_total.fetch_add(valid.size(),
+                                              std::memory_order_relaxed);
+    metrics_->queries_total.fetch_add(valid.size(), std::memory_order_relaxed);
+  }
+  for (std::size_t r = 0; r < valid.size(); ++r) {
+    Slot& slot = *valid[r];
+    slot.resp.y.assign(yb.row(r), yb.row(r) + out_dim);
+    slot.resp.version = served->info.meta.model_version;
+    slot.resp.checksum = served->info.checksum;
+    if (metrics_)
+      metrics_->query_latency.record(slot.since_enqueue.elapsed_s());
+    complete_slot(slot);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy mutex mode (the PR 6 implementation, kept as the bench A/B arm)
+// ---------------------------------------------------------------------------
+
+InferenceBatcher::Response InferenceBatcher::mutex_query(
+    const std::string& scenario, std::vector<double>&& x) {
   auto pending = std::make_unique<Pending>();
   pending->scenario = scenario;
   pending->x = std::move(x);
@@ -84,17 +494,8 @@ InferenceBatcher::Response InferenceBatcher::query(const std::string& scenario,
   }
   cv_.notify_one();
   Pending::Outcome out = fut.get();
-  switch (out.err) {  // worker errors rethrow here, on the caller's thread
-    case ErrKind::kNone:
-      return std::move(out.resp);
-    case ErrKind::kOutOfRange:
-      throw std::out_of_range(out.message);
-    case ErrKind::kInvalidArgument:
-      throw std::invalid_argument(out.message);
-    case ErrKind::kRuntime:
-      break;
-  }
-  throw std::runtime_error(out.message);
+  if (out.err != ErrKind::kNone) rethrow(out.err, out.message);
+  return std::move(out.resp);
 }
 
 void InferenceBatcher::collect_locked(
@@ -111,7 +512,7 @@ void InferenceBatcher::collect_locked(
   }
 }
 
-void InferenceBatcher::worker_loop() {
+void InferenceBatcher::mutex_worker_loop() {
   std::vector<std::unique_ptr<Pending>> batch;
   while (true) {
     batch.clear();
@@ -126,8 +527,7 @@ void InferenceBatcher::worker_loop() {
       const std::string scenario = queue_.front()->scenario;
       const Clock::time_point deadline = queue_.front()->deadline;
       collect_locked(scenario, batch);
-      // Deadline flush: a partial batch waits for stragglers only until the
-      // oldest member's deadline, bounding tail latency at low load.
+      // Deadline flush, as in ring mode.
       while (batch.size() < opt_.max_batch && !stop_) {
         if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
           collect_locked(scenario, batch);
@@ -136,14 +536,7 @@ void InferenceBatcher::worker_loop() {
         collect_locked(scenario, batch);
       }
     }
-    if (metrics_ && !batch.empty()) {
-      metrics_->batches_total.fetch_add(1, std::memory_order_relaxed);
-      if (batch.size() >= opt_.max_batch)
-        metrics_->full_flushes_total.fetch_add(1, std::memory_order_relaxed);
-      else
-        metrics_->deadline_flushes_total.fetch_add(1,
-                                                   std::memory_order_relaxed);
-    }
+    count_flush(batch.size());
     serve_batch(std::move(batch));
   }
 }
@@ -152,7 +545,6 @@ void InferenceBatcher::serve_batch(
     std::vector<std::unique_ptr<Pending>> batch) {
   if (batch.empty()) return;
 
-  // One acquire per batch: every response below carries this version.
   ServedModelPtr served;
   try {
     served = registry_.acquire(batch.front()->scenario);
@@ -170,8 +562,6 @@ void InferenceBatcher::serve_batch(
   const std::size_t in_dim = net.config().input_dim;
   const std::size_t out_dim = net.config().output_dim;
 
-  // Per-worker pooled buffers (thread_local: serve_batch only runs on
-  // worker threads, and each worker reuses its own capacity run-to-run).
   thread_local tensor::Matrix xb, yb;
   thread_local nn::Mlp::ForwardWorkspace ws;
 
@@ -208,9 +598,6 @@ void InferenceBatcher::serve_batch(
             "forward_batched returned ", yb.rows(), "x", yb.cols(),
             " for a ", valid.size(), "-query batch of width ", out_dim);
 
-  // Counters first, fulfillment second: a client that has its response in
-  // hand must already be visible in the metrics (set_value unblocks the
-  // caller immediately, so anything after it races with the client).
   if (metrics_) {
     metrics_->batched_queries_total.fetch_add(valid.size(),
                                               std::memory_order_relaxed);
@@ -228,7 +615,26 @@ void InferenceBatcher::serve_batch(
   }
 }
 
+// ---------------------------------------------------------------------------
+// Shutdown
+// ---------------------------------------------------------------------------
+
 void InferenceBatcher::stop() {
+  if (opt_.mode == QueueMode::kRing) {
+    stop_flag_.store(true, std::memory_order_seq_cst);
+    // Let in-flight ring pushes land before the final drain (Dekker pair
+    // with ring_query): any client past its stop recheck has already
+    // incremented pending_pushes_.
+    while (pending_pushes_.load(std::memory_order_seq_cst) != 0)
+      std::this_thread::yield();
+    gate_.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    workers_.clear();
+    drain_ring_failing();  // entries that raced past the exiting workers
+    return;
+  }
   std::deque<std::unique_ptr<Pending>> orphans;
   {
     util::MutexLock lock(mu_);

@@ -2,16 +2,31 @@
 // Batched inference engine: coalesces concurrent queries into one blocked-
 // GEMM forward.
 //
-// Requests enter a shared queue; a worker drains every pending request for
-// the scenario at the head of the queue (up to max_batch), stacks their
-// inputs into one matrix and runs a single Mlp::forward_batched over it.
-// Partial batches wait at most max_delay_s past the oldest request's
-// arrival (deadline flush), so tail latency is bounded even at low load.
+// Request path (QueueMode::kRing, the default): a client claims a pooled
+// response slot (fixed-capacity table, generation-tagged), writes its
+// request into the slot, pushes the slot index onto a bounded lock-free
+// MPSC ring (util/mpsc_ring.*) and spins-then-parks on the slot until the
+// worker publishes the response into it. No mutex, no allocation and no
+// promise/future on the hot path — the PR 6 profile showed the queue mutex
+// and the per-query promise dominating well before the GEMM did. When the
+// slot pool is exhausted the query is rejected immediately with
+// QueueFullError (the HTTP layer maps it to 503) and counted in
+// rejected_total — bounded queues shed load instead of collapsing.
+//
+// QueueMode::kMutex preserves the PR 6 mutex-guarded deque + promise per
+// query, byte-for-byte, as the A/B baseline for `bench_serve --arm mutex`.
+//
+// A worker drains pending requests, groups them by scenario (up to
+// max_batch of the oldest entry's scenario), stacks their inputs into one
+// matrix and runs a single Mlp::forward_batched over it. Partial batches
+// wait at most max_delay_s past the oldest request's arrival (deadline
+// flush), so tail latency is bounded even at low load.
 //
 // Determinism / attribution contract (pinned by tests/test_serve.cpp):
 //  * each response row is bitwise identical to what a lone
-//    net.forward(single_row) would return — batching and the worker's
-//    thread count never change the numbers (GEMM row independence);
+//    net.forward(single_row) would return — batching, the queue mode and
+//    the worker's thread count never change the numbers (GEMM row
+//    independence);
 //  * a batch acquires its model exactly once; every response carries the
 //    version (and checksum) of that one acquire, so under concurrent
 //    hot-swaps each response is attributable to exactly one published
@@ -20,6 +35,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,16 +43,34 @@
 #include "nn/mlp.hpp"
 #include "serve/metrics.hpp"
 #include "serve/model_registry.hpp"
+#include "util/mpsc_ring.hpp"
 #include "util/mutex.hpp"
 #include "util/timer.hpp"
 
 namespace sgm::serve {
+
+/// Thrown by query() when the bounded request queue is full (backpressure).
+/// The HTTP front end maps it to 503 Service Unavailable.
+class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class QueueMode : std::uint8_t {
+  kRing,   ///< lock-free ring + pooled response slots (default)
+  kMutex,  ///< PR 6 mutex-guarded deque + promise/future (A/B baseline)
+};
 
 struct BatcherOptions {
   std::size_t max_batch = 64;    ///< coalesce at most this many queries
   double max_delay_s = 200e-6;   ///< deadline flush for partial batches
   std::size_t num_threads = 1;   ///< row-parallel forward threads (0 = auto)
   std::size_t num_workers = 1;   ///< batch-assembly worker threads
+  QueueMode mode = QueueMode::kRing;
+  /// Bound on in-flight queries (ring mode): ring length and response-slot
+  /// count. Rounded up to a power of two. Queries beyond it are rejected
+  /// with QueueFullError.
+  std::size_t queue_capacity = 1024;
 };
 
 class InferenceBatcher {
@@ -57,11 +91,12 @@ class InferenceBatcher {
 
   /// Blocking: enqueues, waits for the coalesced forward, returns the row.
   /// Throws std::out_of_range for unpublished scenarios,
-  /// std::invalid_argument for wrong input width, std::runtime_error after
-  /// stop(). Worker-side failures travel as an error code + message and are
-  /// rethrown here as fresh exceptions — exception objects never cross
-  /// threads (their libstdc++-internal refcounting is opaque to TSan, and a
-  /// failed batch would otherwise share one object across all its callers).
+  /// std::invalid_argument for wrong input width, QueueFullError when the
+  /// bounded queue is full, std::runtime_error after stop(). Worker-side
+  /// failures travel as an error code + message and are rethrown here as
+  /// fresh exceptions — exception objects never cross threads (their
+  /// libstdc++-internal refcounting is opaque to TSan, and a failed batch
+  /// would otherwise share one object across all its callers).
   Response query(const std::string& scenario, std::vector<double> x);
 
   /// Drains the queue (pending requests fail with std::runtime_error) and
@@ -70,7 +105,22 @@ class InferenceBatcher {
 
  private:
   struct Pending;
-  void worker_loop();
+  struct Slot;
+
+  // --- ring mode -----------------------------------------------------------
+  Response ring_query(const std::string& scenario, std::vector<double>&& x);
+  void ring_worker_loop();
+  /// Serves `batch` (slot indices, all one scenario) and completes each slot.
+  void serve_slots(const std::vector<std::uint32_t>& batch);
+  void fail_slot(Slot& slot, std::uint8_t err, const std::string& message);
+  void complete_slot(Slot& slot);
+  /// Fails every entry still in the ring; used by stopping workers and by
+  /// stop() itself after the workers joined.
+  void drain_ring_failing();
+
+  // --- legacy mutex mode ---------------------------------------------------
+  Response mutex_query(const std::string& scenario, std::vector<double>&& x);
+  void mutex_worker_loop();
   void serve_batch(std::vector<std::unique_ptr<Pending>> batch);
   /// Moves every queued request for `scenario` (up to max_batch) into
   /// `batch`, preserving queue order for other scenarios.
@@ -78,14 +128,27 @@ class InferenceBatcher {
                       std::vector<std::unique_ptr<Pending>>& batch)
       SGM_REQUIRES(mu_);
 
+  void count_flush(std::size_t batch_size);
+
   ModelRegistry& registry_;
   BatcherOptions opt_;
   ServeMetrics* metrics_;
 
+  // Ring-mode state. `slots_` is immutable after construction; each Slot
+  // synchronizes its own handoff (see Slot in batcher.cpp).
+  std::unique_ptr<util::MpscRing<std::uint32_t>> ring_;      ///< requests
+  std::unique_ptr<util::MpscRing<std::uint32_t>> freelist_;  ///< free slots
+  std::unique_ptr<Slot[]> slots_;
+  util::RingGate gate_;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<std::uint32_t> pending_pushes_{0};  ///< stop/push Dekker pair
+
+  // Legacy-mode state.
   util::Mutex mu_;
   util::CondVar cv_;
   std::deque<std::unique_ptr<Pending>> queue_ SGM_GUARDED_BY(mu_);
   bool stop_ SGM_GUARDED_BY(mu_) = false;
+
   std::vector<std::thread> workers_;
 };
 

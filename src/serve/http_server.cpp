@@ -15,7 +15,10 @@ namespace {
 
 // ---------------------------------------------------------------------------
 // Tiny JSON helpers — exactly the two shapes the /v1/query body uses. No
-// escape sequences (scenario names are [A-Za-z0-9._-]) and no nesting.
+// escape sequences on the parse side (scenario names are [A-Za-z0-9._-]) and
+// no nesting; everything we *emit* inside a JSON string goes through
+// json_escape, because error messages (SGM_CHECK, registry) freely contain
+// quotes and would otherwise produce invalid JSON bodies.
 // ---------------------------------------------------------------------------
 
 std::size_t find_key(const std::string& body, const std::string& key) {
@@ -70,8 +73,33 @@ void append_f64(std::string& out, double v) {
   out += buf;
 }
 
+/// Minimal JSON string escaper: quotes, backslashes and control characters.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 std::string json_error(const std::string& message) {
-  return "{\"error\": \"" + message + "\"}\n";
+  return "{\"error\": \"" + json_escape(message) + "\"}\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -85,18 +113,20 @@ const char* status_text(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
 
 std::string make_response(int status, const std::string& content_type,
-                          const std::string& body) {
+                          const std::string& body, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     status_text(status) + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  out += "Connection: keep-alive\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += body;
   return out;
 }
@@ -117,20 +147,40 @@ struct HttpRequest {
   std::size_t content_length = 0;
 };
 
-/// Parses the head (request line + headers) out of `buf`; returns the body
-/// offset or npos when the head is incomplete.
-std::size_t parse_head(const std::string& buf, HttpRequest& req) {
-  const std::size_t head_end = buf.find("\r\n\r\n");
-  if (head_end == std::string::npos) return std::string::npos;
+enum class ParseStatus {
+  kNeedMore,    ///< head incomplete; read more bytes
+  kOk,          ///< head parsed; body starts at body_offset
+  kBadRequest,  ///< 400: malformed request line / version / Content-Length
+  kTooLarge,    ///< 413: declared Content-Length exceeds max_body_bytes
+};
 
-  std::size_t line_end = buf.find("\r\n");
+/// Parses the head (request line + headers) at the start of `buf`. The
+/// Content-Length value is validated here — digits only, no wrap, and at
+/// most `max_body_bytes` — so a hostile header is rejected immediately
+/// instead of wrapping `body_offset + content_length` into a truncated body
+/// or stalling the connection until the idle timeout.
+ParseStatus parse_head(const std::string& buf, HttpRequest& req,
+                       std::size_t& body_offset, std::size_t max_body_bytes) {
+  const std::size_t head_end = buf.find("\r\n\r\n");
+  if (head_end == std::string::npos) return ParseStatus::kNeedMore;
+
+  const std::size_t line_end = buf.find("\r\n");
   const std::string line = buf.substr(0, line_end);
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos)
-    throw std::runtime_error("malformed request line");
+    return ParseStatus::kBadRequest;
   req.method = line.substr(0, sp1);
   req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // HTTP/1.0 peers default to close (they do not understand keep-alive
+  // unless they ask for it); HTTP/1.1 defaults to keep-alive.
+  const std::string version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1")
+    req.keep_alive = true;
+  else if (version == "HTTP/1.0")
+    req.keep_alive = false;
+  else
+    return ParseStatus::kBadRequest;
 
   std::size_t pos = line_end + 2;
   while (pos < head_end) {
@@ -141,14 +191,31 @@ std::size_t parse_head(const std::string& buf, HttpRequest& req) {
     if (colon == std::string::npos) continue;
     std::string name = header.substr(0, colon);
     std::string value = header.substr(colon + 1);
-    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
-    if (iequals(name, "content-length"))
-      req.content_length = static_cast<std::size_t>(
-          std::strtoull(value.c_str(), nullptr, 10));
-    else if (iequals(name, "connection") && iequals(value, "close"))
-      req.keep_alive = false;
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t'))
+      value.erase(0, 1);
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t'))
+      value.pop_back();
+    if (iequals(name, "content-length")) {
+      if (value.empty() ||
+          !std::all_of(value.begin(), value.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+          }))
+        return ParseStatus::kBadRequest;
+      // 20 digits overflows std::uint64_t; any value this long is over any
+      // sane max_body_bytes anyway, so reject before strtoull can wrap.
+      if (value.size() > 19) return ParseStatus::kTooLarge;
+      const std::uint64_t parsed = std::strtoull(value.c_str(), nullptr, 10);
+      if (parsed > max_body_bytes) return ParseStatus::kTooLarge;
+      req.content_length = static_cast<std::size_t>(parsed);
+    } else if (iequals(name, "connection")) {
+      if (iequals(value, "close"))
+        req.keep_alive = false;
+      else if (iequals(value, "keep-alive"))
+        req.keep_alive = true;
+    }
   }
-  return head_end + 4;
+  body_offset = head_end + 4;
+  return ParseStatus::kOk;
 }
 
 }  // namespace
@@ -209,90 +276,115 @@ void HttpServer::handler_loop() {
       conn = std::move(conn_queue_.front());
       conn_queue_.pop_front();
     }
-    // Keep-alive loop: serve requests until the peer closes, errors, the
-    // idle timeout passes, or the server stops.
-    while (handle_connection(conn)) {
-    }
+    handle_connection(conn);
   }
 }
 
-bool HttpServer::handle_connection(util::TcpSocket& conn) {
-  // Poll in short slices so a stop() is honored promptly even while a
-  // keep-alive peer is idle.
+void HttpServer::handle_connection(util::TcpSocket& conn) {
+  // Streaming read loop: `buf` carries leftover bytes across requests, so a
+  // peer that pipelines many requests into one write (or whose request
+  // boundaries straddle read chunks) is served every one of them — one
+  // read_some can yield many responses, written back as one coalesced
+  // write. The pre-PR code rebuilt the buffer per request and silently
+  // dropped whatever it had already read past the first body.
   std::string buf;
-  HttpRequest req;
-  std::size_t body_offset = std::string::npos;
+  std::string outbuf;
   double idle_s = 0.0;
-  char chunk[4096];
-  while (true) {
+  char chunk[8192];
+  for (;;) {
+    // Serve every complete request already buffered.
+    outbuf.clear();
+    bool close_after_write = false;
+    for (;;) {
+      HttpRequest req;
+      std::size_t body_offset = 0;
+      const ParseStatus ps =
+          parse_head(buf, req, body_offset, opt_.max_body_bytes);
+      if (ps == ParseStatus::kNeedMore) {
+        if (buf.size() > opt_.max_body_bytes) {  // runaway / malicious head
+          metrics_.http_requests_total.fetch_add(1, std::memory_order_relaxed);
+          metrics_.http_errors_total.fetch_add(1, std::memory_order_relaxed);
+          outbuf += make_response(431, "text/plain", "headers too large\n",
+                                  /*keep_alive=*/false);
+          close_after_write = true;
+        }
+        break;
+      }
+      if (ps != ParseStatus::kOk) {
+        const int status = ps == ParseStatus::kTooLarge ? 413 : 400;
+        metrics_.http_requests_total.fetch_add(1, std::memory_order_relaxed);
+        metrics_.http_errors_total.fetch_add(1, std::memory_order_relaxed);
+        outbuf += make_response(
+            status, "text/plain",
+            status == 413 ? "body too large\n" : "bad request\n",
+            /*keep_alive=*/false);
+        close_after_write = true;
+        break;
+      }
+      if (buf.size() - body_offset < req.content_length) break;  // need body
+      req.body.assign(buf, body_offset, req.content_length);
+      buf.erase(0, body_offset + req.content_length);
+
+      util::WallTimer timer;
+      int status = 200;
+      std::string body = route(req.method, req.target, req.body, status);
+      metrics_.http_requests_total.fetch_add(1, std::memory_order_relaxed);
+      if (status >= 400)
+        metrics_.http_errors_total.fetch_add(1, std::memory_order_relaxed);
+      metrics_.http_latency.record(timer.elapsed_s());
+
+      const bool is_json = !body.empty() && (body[0] == '{' || body[0] == '[');
+      const char* content_type = is_json ? "application/json" : "text/plain";
+      outbuf += make_response(status, content_type, body, req.keep_alive);
+      if (!req.keep_alive) {
+        close_after_write = true;
+        break;
+      }
+    }
+    if (!outbuf.empty() && !conn.write_all(outbuf)) return;
+    if (close_after_write) return;
+
+    // Poll in short slices so a stop() is honored promptly even while a
+    // keep-alive peer is idle.
     pollfd pfd{conn.fd(), POLLIN, 0};
     const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
     {
       util::MutexLock lock(mu_);
-      if (stop_) return false;
+      if (stop_) return;
     }
     if (rc == 0) {
       idle_s += 0.1;
-      if (idle_s >= opt_.recv_timeout_s) return false;
+      if (idle_s >= opt_.recv_timeout_s) return;
       continue;
     }
-    if (rc < 0) return false;
+    if (rc < 0) return;
     const long n = conn.read_some(chunk, sizeof(chunk));
-    if (n <= 0) return false;  // peer closed or error
+    if (n <= 0) return;  // peer closed or error
     idle_s = 0.0;
     buf.append(chunk, static_cast<std::size_t>(n));
-    if (buf.size() > opt_.max_body_bytes) {
-      conn.write_all(make_response(413, "text/plain", "body too large\n"));
-      return false;
-    }
-    if (body_offset == std::string::npos) {
-      try {
-        body_offset = parse_head(buf, req);
-      } catch (const std::exception&) {
-        conn.write_all(make_response(400, "text/plain", "bad request\n"));
-        return false;
-      }
-    }
-    if (body_offset != std::string::npos &&
-        buf.size() >= body_offset + req.content_length)
-      break;
   }
-  req.body = buf.substr(body_offset, req.content_length);
-
-  util::WallTimer timer;
-  int status = 200;
-  std::string body = route(req.method, req.target, req.body, status);
-  metrics_.http_requests_total.fetch_add(1, std::memory_order_relaxed);
-  if (status >= 400)
-    metrics_.http_errors_total.fetch_add(1, std::memory_order_relaxed);
-  metrics_.http_latency.record(timer.elapsed_s());
-
-  const bool is_json = !body.empty() && (body[0] == '{' || body[0] == '[');
-  const char* content_type = is_json ? "application/json" : "text/plain";
-  if (!conn.write_all(make_response(status, content_type, body)))
-    return false;
-  return req.keep_alive;
 }
 
 std::string HttpServer::route(const std::string& method,
                               const std::string& target,
                               const std::string& body, int& status) {
-  if (target == "/healthz") {
-    return "ok\n";
-  }
-  if (target == "/metrics") {
-    return metrics_.render();
-  }
-  if (target == "/v1/models") {
+  if (target == "/healthz" || target == "/metrics" ||
+      target == "/v1/models") {
+    if (method != "GET") {  // read-only endpoints: mutating verbs are 405
+      status = 405;
+      return json_error("GET required for " + target);
+    }
+    if (target == "/healthz") return "ok\n";
+    if (target == "/metrics") return metrics_.render();
     std::string out = "[";
     bool first = true;
     for (const ModelInfo& info : registry_.list()) {
       if (!first) out += ", ";
       first = false;
-      out += "{\"scenario\": \"" + info.scenario + "\", \"version\": " +
-             std::to_string(info.version) + ", \"resident\": " +
-             (info.resident ? "true" : "false") + ", \"pinned\": " +
-             (info.pinned ? "true" : "false") + "}";
+      out += "{\"scenario\": \"" + json_escape(info.scenario) +
+             "\", \"version\": " + std::to_string(info.version) +
+             ", \"resident\": " + (info.resident ? "true" : "false") +
+             ", \"pinned\": " + (info.pinned ? "true" : "false") + "}";
     }
     out += "]\n";
     return out;
@@ -313,8 +405,9 @@ std::string HttpServer::route(const std::string& method,
     try {
       InferenceBatcher::Response resp =
           batcher_.query(scenario, std::move(x));
-      std::string out = "{\"scenario\": \"" + scenario + "\", \"version\": " +
-                        std::to_string(resp.version) + ", \"y\": [";
+      std::string out = "{\"scenario\": \"" + json_escape(scenario) +
+                        "\", \"version\": " + std::to_string(resp.version) +
+                        ", \"y\": [";
       for (std::size_t i = 0; i < resp.y.size(); ++i) {
         if (i) out += ", ";
         append_f64(out, resp.y[i]);
@@ -326,6 +419,9 @@ std::string HttpServer::route(const std::string& method,
       return json_error(e.what());
     } catch (const std::invalid_argument& e) {
       status = 400;
+      return json_error(e.what());
+    } catch (const QueueFullError& e) {
+      status = 503;  // backpressure: bounded queue full, try again later
       return json_error(e.what());
     } catch (const std::exception& e) {
       status = 503;

@@ -8,6 +8,15 @@
 // spirit of GraphLab's in-process metrics_server: a tiny embedded endpoint,
 // not a general web server.
 //
+// The read path is a streaming loop: leftover buffered bytes carry across
+// requests, so a pipelining client gets one response per request no matter
+// how the bytes chunk onto reads, and responses for already-buffered
+// requests coalesce into one write. Content-Length is validated (digits
+// only, <= max_body_bytes) before any arithmetic; GET-only endpoints
+// return 405 for other verbs; HTTP/1.0 peers default to Connection: close;
+// everything emitted inside a JSON string is escaped. A full batcher queue
+// surfaces as 503 + sgm_serve_rejected_total (backpressure, not collapse).
+//
 // Routes:
 //   POST /v1/query   {"scenario": "<name>", "x": [..]}
 //                 -> {"scenario": "...", "version": N, "y": [..]}
@@ -59,7 +68,11 @@ class HttpServer {
  private:
   void acceptor_loop();
   void handler_loop();
-  bool handle_connection(util::TcpSocket& conn);
+  /// Serves the connection until the peer closes, a request asks for (or
+  /// implies) close, an error occurs, the idle timeout passes, or the
+  /// server stops. Maintains a streaming read buffer across requests, so
+  /// pipelined requests (many per read) are all served.
+  void handle_connection(util::TcpSocket& conn);
 
   std::string route(const std::string& method, const std::string& target,
                     const std::string& body, int& status);

@@ -42,6 +42,8 @@ std::string ServeMetrics::render() const {
                  queries_total.load(std::memory_order_relaxed));
   append_counter(out, "sgm_serve_query_errors_total",
                  query_errors_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_serve_rejected_total",
+                 rejected_total.load(std::memory_order_relaxed));
   append_counter(out, "sgm_serve_batches_total",
                  batches_total.load(std::memory_order_relaxed));
   append_counter(out, "sgm_serve_batched_queries_total",

@@ -25,6 +25,9 @@ struct ServeMetrics {
   // Batcher counters.
   std::atomic<std::uint64_t> queries_total{0};         ///< answered queries
   std::atomic<std::uint64_t> query_errors_total{0};
+  /// Backpressure: queries shed immediately because the bounded request
+  /// ring / response-slot pool was full (HTTP surfaces these as 503).
+  std::atomic<std::uint64_t> rejected_total{0};
   std::atomic<std::uint64_t> batches_total{0};         ///< coalesced forwards
   std::atomic<std::uint64_t> batched_queries_total{0}; ///< sum of batch sizes
   std::atomic<std::uint64_t> full_flushes_total{0};    ///< flushed at B

@@ -1,0 +1,65 @@
+#include "util/mpsc_ring.hpp"
+
+namespace sgm::util {
+
+RingGate::Ticket RingGate::prepare_wait() {
+  // seq_cst RMW: the Dekker store half. Everything the caller re-checks
+  // after this (the ring) is ordered after the waiter count became visible,
+  // so a producer that misses the count must have pushed late enough for
+  // the recheck to see its item.
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  MutexLock lock(mu_);
+  return epoch_;
+}
+
+void RingGate::cancel_wait() {
+  waiters_.fetch_sub(1, std::memory_order_release);
+}
+
+void RingGate::wait(Ticket ticket) {
+  {
+    MutexLock lock(mu_);
+    while (epoch_ == ticket) cv_.wait(mu_);
+  }
+  waiters_.fetch_sub(1, std::memory_order_release);
+}
+
+bool RingGate::wait_until(Ticket ticket,
+                          std::chrono::steady_clock::time_point deadline) {
+  bool notified = true;
+  {
+    MutexLock lock(mu_);
+    while (epoch_ == ticket) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout &&
+          epoch_ == ticket) {
+        notified = false;
+        break;
+      }
+    }
+  }
+  waiters_.fetch_sub(1, std::memory_order_release);
+  return notified;
+}
+
+void RingGate::notify() {
+  // Dekker load half, as an identity RMW (not a fence: TSan cannot model
+  // fences, and an RMW makes the pairing airtight in the formal model).
+  // If this reads 0, prepare_wait's fetch_add is later in waiters_'s
+  // modification order and reads-from this RMW's write — that
+  // synchronizes-with edge orders the caller's push before the waiter's
+  // recheck, so the item cannot be missed. If it reads > 0, we broadcast.
+  if (waiters_.fetch_add(0, std::memory_order_seq_cst) == 0) return;
+  bump_and_broadcast();
+}
+
+void RingGate::notify_all() { bump_and_broadcast(); }
+
+void RingGate::bump_and_broadcast() {
+  {
+    MutexLock lock(mu_);
+    ++epoch_;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace sgm::util

@@ -1,0 +1,196 @@
+#pragma once
+// Bounded lock-free ring buffer + parked-consumer wakeup gate — the request
+// path of the serving engine (serve/batcher.*).
+//
+// MpscRing<T> is the classic slot-sequence (Vyukov) bounded queue: every
+// slot carries its own sequence ticket, producers claim a position with one
+// CAS on the tail and publish the payload with a release store of the slot
+// sequence; consumers mirror that on the head. No mutex anywhere on the
+// enqueue/dequeue path, and the contended atomics (head, tail, each slot)
+// live on their own cache lines so producers never false-share with the
+// consumer. The name reflects the serving topology — many client threads
+// feeding one batcher worker — but the per-slot sequences make multi-
+// consumer drains (batcher num_workers > 1, the response-slot freelist)
+// safe too.
+//
+// RingGate is the blocking half: a consumer that finds the ring empty spins
+// briefly and then parks on an eventcount (epoch + waiter counter). The
+// producer's post-push notify() is one identity RMW on the waiter counter
+// when nobody is parked — the loaded-server fast path never takes a mutex
+// or makes a syscall. The mutex/condvar pair is only touched on the park
+// path itself (there is no raw futex; the condvar's native fast path does
+// the heavy lifting).
+//
+// Memory-ordering contract (pinned by tests/test_mpsc_ring.cpp under TSan):
+//  * everything written before try_push(v) is visible to the thread whose
+//    try_pop returns v (release slot-sequence store / acquire load);
+//  * the prepare_wait / recheck / wait protocol cannot lose a wakeup: both
+//    sides RMW the waiter counter seq_cst, forming a store-buffering
+//    (Dekker) pair, so either the consumer's recheck sees the pushed item
+//    or the producer sees the parked consumer and bumps the epoch. (RMWs,
+//    not fences: TSan cannot model fences, and an RMW reads-from edge
+//    gives the pairing a synchronizes-with guarantee in the formal model.)
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/mutex.hpp"
+
+namespace sgm::util {
+
+/// One PAUSE/YIELD in a spin loop; keeps the hyperthread sibling breathing.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Eventcount for a spin-then-park consumer. Protocol:
+///
+///     for (;;) {
+///       if (ring.try_pop(v)) break;            // spin phase (caller's)
+///       RingGate::Ticket t = gate.prepare_wait();
+///       if (ring.try_pop(v)) { gate.cancel_wait(); break; }  // recheck!
+///       gate.wait(t);                          // park until a notify
+///     }
+///
+/// and producers call notify() after every successful push. The recheck
+/// between prepare_wait and wait is mandatory — that is where the lost-
+/// wakeup race is closed.
+class RingGate {
+ public:
+  using Ticket = std::uint64_t;
+
+  RingGate() = default;
+  RingGate(const RingGate&) = delete;
+  RingGate& operator=(const RingGate&) = delete;
+
+  /// Registers the caller as (about to be) parked and returns the current
+  /// epoch. Must be paired with exactly one cancel_wait() or wait*() call.
+  Ticket prepare_wait();
+
+  /// Un-registers after a successful recheck; the caller does not block.
+  void cancel_wait();
+
+  /// Blocks until any notify issued after `ticket` was taken.
+  void wait(Ticket ticket);
+
+  /// wait() with a deadline; returns false when the deadline passed first.
+  bool wait_until(Ticket ticket,
+                  std::chrono::steady_clock::time_point deadline);
+
+  /// Producer side, called after a successful push. One identity RMW on
+  /// the waiter counter when no consumer is parked; bumps the epoch and
+  /// wakes everyone otherwise.
+  void notify();
+
+  /// Unconditional epoch bump + broadcast (shutdown paths).
+  void notify_all();
+
+ private:
+  void bump_and_broadcast();
+
+  std::atomic<std::uint32_t> waiters_{0};
+  Mutex mu_;
+  CondVar cv_;
+  std::uint64_t epoch_ SGM_GUARDED_BY(mu_) = 0;
+};
+
+/// Bounded lock-free FIFO of trivially-movable payloads. Capacity is
+/// rounded up to a power of two. try_push returns false when full,
+/// try_pop when empty; neither ever blocks or throws.
+template <class T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t min_capacity) {
+    SGM_CHECK_ARG(min_capacity >= 2 && min_capacity <= (std::size_t{1} << 31),
+                  "MpscRing: capacity must be in [2, 2^31]");
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy occupancy estimate — monitoring only, never a correctness signal.
+  std::size_t approx_size() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool try_push(T v) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::size_t seq = s.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        // The slot is free for exactly this position: claim it.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          s.value = std::move(v);
+          s.seq.store(pos + 1, std::memory_order_release);  // publish
+          return true;
+        }
+      } else if (dif < 0) {
+        // The consumer that owes this slot its next sequence hasn't
+        // finished: the ring is full (or within the few-instruction window
+        // where a pop has claimed the head but not yet recycled the slot).
+        return false;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost the race
+      }
+    }
+  }
+
+  bool try_pop(T& out) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::size_t seq = s.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(s.value);
+          // Recycle the slot for the producer one lap ahead.
+          s.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producers
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer(s)
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace sgm::util

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -39,6 +40,8 @@ using sgm::nn::MlpConfig;
 using sgm::serve::BatcherOptions;
 using sgm::serve::InferenceBatcher;
 using sgm::serve::ModelRegistry;
+using sgm::serve::QueueFullError;
+using sgm::serve::QueueMode;
 using sgm::serve::ServeMetrics;
 using sgm::tensor::Matrix;
 
@@ -347,6 +350,122 @@ TEST_F(ServeTest, BatcherErrorPaths) {
   batcher.stop();  // idempotent
 }
 
+// The PR 6 mutex+promise path is kept as the bench A/B arm; it must keep
+// serving bitwise-correct responses and its stop() contract.
+TEST_F(ServeTest, LegacyMutexModeStillServesBitwise) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(36);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+
+  BatcherOptions opt;
+  opt.mode = QueueMode::kMutex;
+  opt.max_delay_s = 1e-4;
+  InferenceBatcher batcher(registry, opt);
+
+  const Matrix probes = probe_batch(16, net.config().input_dim, 91);
+  const Matrix expected = net.forward(probes);
+  for (std::size_t r = 0; r < probes.rows(); ++r) {
+    const auto resp = batcher.query("s", row_vec(probes, r));
+    ASSERT_EQ(std::memcmp(resp.y.data(), expected.row(r),
+                          resp.y.size() * sizeof(double)),
+              0);
+  }
+  EXPECT_THROW(batcher.query("never", {0.0, 0.0}), std::out_of_range);
+  batcher.stop();
+  EXPECT_THROW(batcher.query("s", {0.0, 0.0}), std::runtime_error);
+}
+
+// Far more queries than the slot pool: every slot is recycled through many
+// generations, and a stale generation tag would surface as a wrong or torn
+// response (bitwise check) or a hang.
+TEST_F(ServeTest, RingSlotsRecycleCorrectlyAcrossGenerations) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(37);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+
+  BatcherOptions opt;
+  opt.queue_capacity = 4;  // tiny on purpose: forces heavy reuse
+  opt.max_batch = 4;
+  opt.max_delay_s = 1e-4;
+  InferenceBatcher batcher(registry, opt);
+
+  const std::size_t kClients = 2, kQueriesEach = 300;
+  const Matrix probes =
+      probe_batch(kClients * kQueriesEach, net.config().input_dim, 92);
+  const Matrix expected = net.forward(probes);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < kQueriesEach; ++q) {
+        const std::size_t r = c * kQueriesEach + q;
+        // A tiny pool can legitimately be full; retry, never drop.
+        for (;;) {
+          try {
+            const auto resp = batcher.query("s", row_vec(probes, r));
+            if (std::memcmp(resp.y.data(), expected.row(r),
+                            resp.y.size() * sizeof(double)) != 0)
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            break;
+          } catch (const QueueFullError&) {
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Backpressure: with the bounded pool exhausted by in-flight queries, a new
+// query is rejected immediately with QueueFullError + rejected_total, not
+// queued unboundedly.
+TEST_F(ServeTest, RingFullQueriesAreRejectedNotQueued) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(38);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+
+  ServeMetrics metrics;
+  BatcherOptions opt;
+  opt.queue_capacity = 2;
+  opt.max_batch = 8;       // batches never fill ...
+  opt.max_delay_s = 50e-3; // ... so each query holds its slot ~50 ms
+  InferenceBatcher batcher(registry, opt, &metrics);
+
+  std::atomic<bool> run{true};
+  std::vector<std::thread> blockers;
+  for (int b = 0; b < 2; ++b) {
+    blockers.emplace_back([&] {
+      while (run.load()) {
+        try {
+          (void)batcher.query("s", {0.25, 0.75});
+        } catch (const QueueFullError&) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  bool rejected = false;
+  for (int attempt = 0; attempt < 2000 && !rejected; ++attempt) {
+    try {
+      (void)batcher.query("s", {0.5, 0.5});
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } catch (const QueueFullError&) {
+      rejected = true;
+    }
+  }
+  run.store(false);
+  for (auto& t : blockers) t.join();
+  EXPECT_TRUE(rejected) << "a full 2-slot pool must shed load";
+  EXPECT_GE(metrics.rejected_total.load(), 1u);
+}
+
 // A mixed-scenario storm: responses must route to the right model.
 TEST_F(ServeTest, BatcherKeepsScenariosApart) {
   ModelRegistry registry(root_);
@@ -467,6 +586,28 @@ std::string http_request(std::uint16_t port, const std::string& method,
   while ((n = conn.read_some(chunk, sizeof(chunk))) > 0)
     response.append(chunk, static_cast<std::size_t>(n));
   return response;
+}
+
+/// Writes raw bytes on a fresh connection and reads until the server closes
+/// it. Used by the tests that need exact control over the wire format
+/// (pipelining, hostile headers, HTTP/1.0).
+std::string raw_exchange(std::uint16_t port, const std::string& bytes) {
+  sgm::util::TcpSocket conn = sgm::util::tcp_connect(port);
+  EXPECT_TRUE(conn.write_all(bytes));
+  std::string response;
+  char chunk[4096];
+  long n;
+  while ((n = conn.read_some(chunk, sizeof(chunk))) > 0)
+    response.append(chunk, static_cast<std::size_t>(n));
+  return response;
+}
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
 }
 
 int response_status(const std::string& response) {
@@ -606,6 +747,151 @@ TEST_F(ServeTest, HttpConcurrentClientsAllServed) {
   for (auto& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GE(stack.metrics.http_requests_total.load(), 80u);
+}
+
+// Regression: three requests pipelined into one write must yield three
+// responses. The pre-PR handler rebuilt its buffer per request and dropped
+// whatever it had already read past the first body.
+TEST_F(ServeTest, HttpPipelinedRequestsAllGetResponses) {
+  HttpStack stack(root_);
+  sgm::util::Rng rng(44);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("s", net);
+  const std::uint16_t port = stack.server->port();
+
+  const std::string q = "{\"scenario\": \"s\", \"x\": [0.25, 0.75]}";
+  const std::string head = "POST /v1/query HTTP/1.1\r\nHost: h\r\n";
+  const std::string clen =
+      "Content-Length: " + std::to_string(q.size()) + "\r\n";
+  const std::string keep = head + clen + "\r\n" + q;
+  const std::string last = head + "Connection: close\r\n" + clen + "\r\n" + q;
+
+  const std::string response = raw_exchange(port, keep + keep + last);
+  EXPECT_EQ(count_of(response, "HTTP/1.1 200 OK"), 3u) << response;
+  EXPECT_EQ(count_of(response, "\"y\": ["), 3u) << response;
+}
+
+// Regression: a hostile Content-Length must be rejected up front — 400 for
+// non-numeric, 413 for values past max_body_bytes (including 20+-digit
+// values that would wrap a uint64 parse) — instead of stalling the
+// connection until the idle timeout or wrapping body_offset arithmetic.
+TEST_F(ServeTest, HttpContentLengthValidation) {
+  HttpStack stack(root_);
+  const std::uint16_t port = stack.server->port();
+
+  std::string resp = raw_exchange(
+      port, "POST /v1/query HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
+  EXPECT_EQ(response_status(resp), 400);
+  EXPECT_EQ(response_body(resp), "bad request\n");
+
+  resp = raw_exchange(port,
+                      "POST /v1/query HTTP/1.1\r\nContent-Length: -1\r\n\r\n");
+  EXPECT_EQ(response_status(resp), 400);
+
+  resp = raw_exchange(
+      port,
+      "POST /v1/query HTTP/1.1\r\nContent-Length: "
+      "18446744073709551617\r\n\r\n");  // 2^64 + 1: would wrap strtoull
+  EXPECT_EQ(response_status(resp), 413);
+  EXPECT_EQ(response_body(resp), "body too large\n");
+
+  // Parseable but over max_body_bytes (default 1 MiB): the 413 must come
+  // back immediately, not after waiting for a 2 MiB body that never comes.
+  const auto t0 = std::chrono::steady_clock::now();
+  resp = raw_exchange(
+      port, "POST /v1/query HTTP/1.1\r\nContent-Length: 2097152\r\n\r\n");
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(response_status(resp), 413);
+  EXPECT_LT(elapsed_s, 8.0) << "413 must not wait for the idle timeout";
+}
+
+// Regression: error bodies echo untrusted input (the request target); a
+// quote in it must come back escaped, or the JSON body is invalid.
+TEST_F(ServeTest, HttpErrorBodiesEscapeUntrustedInput) {
+  HttpStack stack(root_);
+  const std::uint16_t port = stack.server->port();
+
+  const std::string resp = http_request(port, "GET", "/oops\"}{\"", "");
+  EXPECT_EQ(response_status(resp), 404);
+  const std::string body = response_body(resp);
+  EXPECT_NE(body.find("no such endpoint: /oops\\\"}{\\\""),
+            std::string::npos)
+      << body;
+  EXPECT_EQ(body.find("/oops\"}"), std::string::npos)
+      << "raw quote leaked into JSON: " << body;
+}
+
+// Regression: read-only endpoints must 405 mutating verbs, unknown HTTP
+// versions are 400, and an HTTP/1.0 peer defaults to Connection: close.
+TEST_F(ServeTest, HttpMethodAndVersionHandling) {
+  HttpStack stack(root_);
+  const std::uint16_t port = stack.server->port();
+
+  EXPECT_EQ(response_status(http_request(port, "POST", "/healthz", "")), 405);
+  EXPECT_EQ(response_status(http_request(port, "POST", "/metrics", "")), 405);
+  EXPECT_EQ(response_status(http_request(port, "DELETE", "/v1/models", "")),
+            405);
+
+  std::string resp = raw_exchange(port, "GET /healthz HTTP/9.9\r\n\r\n");
+  EXPECT_EQ(response_status(resp), 400);
+
+  // No Connection header: an HTTP/1.0 peer does not speak keep-alive, so
+  // the server must answer and close (raw_exchange reads until EOF).
+  resp = raw_exchange(port, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(response_status(resp), 200);
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos) << resp;
+  EXPECT_EQ(response_body(resp), "ok\n");
+}
+
+// Backpressure end to end: a full batcher queue surfaces as HTTP 503 and
+// sgm_serve_rejected_total, not an unbounded queue or a hung connection.
+TEST_F(ServeTest, HttpQueueFullReturns503) {
+  ModelRegistry registry(root_);
+  ServeMetrics metrics;
+  BatcherOptions bopt;
+  bopt.queue_capacity = 2;
+  bopt.max_batch = 8;        // batches never fill ...
+  bopt.max_delay_s = 50e-3;  // ... so each query holds its slot ~50 ms
+  InferenceBatcher batcher(registry, bopt, &metrics);
+  sgm::serve::HttpServerOptions hopt;
+  hopt.num_workers = 2;
+  sgm::serve::HttpServer server(registry, batcher, metrics, hopt);
+
+  sgm::util::Rng rng(45);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> run{true};
+  std::vector<std::thread> blockers;
+  for (int b = 0; b < 2; ++b) {
+    blockers.emplace_back([&] {
+      while (run.load()) {
+        try {
+          (void)batcher.query("s", {0.25, 0.75});
+        } catch (const QueueFullError&) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  bool saw_503 = false;
+  for (int attempt = 0; attempt < 400 && !saw_503; ++attempt) {
+    const std::string resp =
+        http_request(port, "POST", "/v1/query",
+                     "{\"scenario\": \"s\", \"x\": [0.5, 0.5]}");
+    saw_503 = response_status(resp) == 503;
+  }
+  run.store(false);
+  for (auto& t : blockers) t.join();
+  server.stop();
+  batcher.stop();
+
+  EXPECT_TRUE(saw_503) << "a full 2-slot pool must surface as HTTP 503";
+  EXPECT_GE(metrics.rejected_total.load(), 1u);
 }
 
 }  // namespace
