@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One-command verify: configure + build + ctest.
-#   scripts/check.sh [--tier1|--tier2|--bench|--lint|--asan|--tidy] [build-dir]
-#                                            (extra CMake args via CMAKE_ARGS)
+#   scripts/check.sh [--tier1|--tier2|--bench|--lint|--asan|--tidy|--chaos]
+#                    [build-dir]             (extra CMake args via CMAKE_ARGS)
 #
 # Default runs every ctest suite. --tier1 runs only the fast unit/property
 # suites (label tier1), which include the incremental-refresh equivalence
@@ -19,7 +19,10 @@
 # building anything. --asan builds with SGM_ASAN=ON into <build-dir>-asan and
 # runs tier1 under AddressSanitizer+UBSan. --tidy runs clang-tidy over src/
 # using the compile_commands.json of the build dir (requires clang-tidy on
-# PATH; CI provides it).
+# PATH; CI provides it). --chaos is the failure-model gate: the failpoint /
+# durability / recovery suite (test_robustness) under ASan+UBSan, then the
+# serving degradation + socket fault suites (test_serve, test_socket) under
+# TSan — every fault path exercised with memory and race checking on.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +35,7 @@ case "${1:-}" in
   --lint)  TIER="lint";  shift ;;
   --asan)  TIER="asan";  shift ;;
   --tidy)  TIER="tidy";  shift ;;
+  --chaos) TIER="chaos"; shift ;;
 esac
 BUILD_DIR="${1:-build}"
 
@@ -47,6 +51,21 @@ if [[ "$TIER" == "asan" ]]; then
     -DSGM_BUILD_EXAMPLES=OFF ${CMAKE_ARGS:-}
   cmake --build "$BUILD_DIR" -j "$(nproc)"
   ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"
+  exit 0
+fi
+
+if [[ "$TIER" == "chaos" ]]; then
+  ASAN_DIR="${1:-build-chaos-asan}"
+  TSAN_DIR="${ASAN_DIR%-asan}-tsan"
+  cmake -B "$ASAN_DIR" -S . -DSGM_ASAN=ON -DSGM_BUILD_BENCH=OFF \
+    -DSGM_BUILD_EXAMPLES=OFF ${CMAKE_ARGS:-}
+  cmake --build "$ASAN_DIR" -j "$(nproc)" --target test_robustness
+  ctest --test-dir "$ASAN_DIR" -R test_robustness --output-on-failure
+  cmake -B "$TSAN_DIR" -S . -DSGM_TSAN=ON -DSGM_BUILD_BENCH=OFF \
+    -DSGM_BUILD_EXAMPLES=OFF ${CMAKE_ARGS:-}
+  cmake --build "$TSAN_DIR" -j "$(nproc)" --target test_serve test_socket
+  ctest --test-dir "$TSAN_DIR" -R 'test_serve|test_socket' \
+    --output-on-failure
   exit 0
 fi
 

@@ -27,6 +27,13 @@ outright in src/:
                    accumulation. Hash-table iteration order is unspecified,
                    so floating-point accumulation over it is
                    layout-dependent. (Membership tests and lookups are fine.)
+  failpoint-rng    a <random> engine or distribution anywhere outside
+                   src/util/rng.*. Probabilistic decisions — including the
+                   failpoint registry's `prob:` sites — must draw from a
+                   seedable util::Rng, so a chaos run replays exactly given
+                   SGM_FAILPOINT_SEED. Enforced structurally too: the
+                   failpoint machinery (src/util/failpoint.cpp) must
+                   reference util::Rng for its probability draw.
   fp-contract      every translation unit that includes the GEMM
                    micro-kernels (gemm_kernels.inl) must be compiled with
                    -ffp-contract=off in CMakeLists.txt, otherwise the
@@ -60,6 +67,10 @@ RAW_MUTEX_RE = re.compile(
     r"std::(mutex|lock_guard|unique_lock|scoped_lock|condition_variable(_any)?"
     r"|shared_mutex|shared_lock|timed_mutex|recursive_mutex)\b")
 RAW_RAND_RE = re.compile(r"(?<![\w:])(rand|srand)\s*\(|std::random_device")
+STD_RANDOM_ENGINE_RE = re.compile(
+    r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|knuth_b"
+    r"|ranlux\w+|(uniform_real|uniform_int|bernoulli|normal|poisson"
+    r"|discrete|exponential|geometric)_distribution)\b")
 STD_ASYNC_RE = re.compile(r"std::async\b")
 # An RNG constructed with a seed expression mentioning a clock. Covers both
 # util::Rng and the <random> engines (which are themselves suspicious in
@@ -147,6 +158,14 @@ def check_file(rel: str, text: str) -> list[Finding]:
                 "ambient entropy source; all randomness must flow from a "
                 "seedable util::Rng"))
 
+    if rel not in RAW_RAND_ALLOWED:
+        for m in STD_RANDOM_ENGINE_RE.finditer(code):
+            findings.append(Finding(
+                rel, line_of(code, m.start()), "failpoint-rng",
+                f"{m.group(0)} bypasses util::Rng; probabilistic decisions "
+                "(incl. failpoint prob: sites) must come from the seedable "
+                "util::Rng so runs replay exactly"))
+
     for m in STD_ASYNC_RE.finditer(code):
         findings.append(Finding(
             rel, line_of(code, m.start()), "std-async",
@@ -213,6 +232,26 @@ def check_fp_contract(root: pathlib.Path) -> list[Finding]:
     return findings
 
 
+def check_failpoint_routing(root: pathlib.Path) -> list[Finding]:
+    """The failpoint machinery must draw its prob: decisions from util::Rng.
+
+    The textual engine ban above catches a <random> rewrite; this structural
+    check catches the subtler regression where the probability draw stops
+    going through a seedable Rng at all (hash-of-pointer tricks, counters).
+    """
+    fp = root / "src" / "util" / "failpoint.cpp"
+    if not fp.exists():
+        return []
+    code = strip_comments_and_strings(fp.read_text())
+    if not re.search(r"\bRng\b", code):
+        return [Finding(
+            "src/util/failpoint.cpp", 1, "failpoint-rng",
+            "failpoint prob: decisions must draw from a seedable util::Rng "
+            "(SGM_FAILPOINT_SEED replay contract), but the file no longer "
+            "references Rng")]
+    return []
+
+
 def lint(root: pathlib.Path) -> list[Finding]:
     findings: list[Finding] = []
     src = root / "src"
@@ -222,6 +261,7 @@ def lint(root: pathlib.Path) -> list[Finding]:
                 rel = str(path.relative_to(root)).replace("\\", "/")
                 findings.extend(check_file(rel, path.read_text()))
     findings.extend(check_fp_contract(root))
+    findings.extend(check_failpoint_routing(root))
     return findings
 
 
@@ -242,6 +282,7 @@ void f() {
   int r = rand();                                    // raw-rand
   std::random_device rd;                             // raw-rand
   std::mt19937 gen(std::chrono::steady_clock::now().time_since_epoch().count());
+  std::uniform_real_distribution<double> dist(0, 1); // failpoint-rng
   auto fut = std::async([] { return 1; });           // std-async
   std::unordered_map<int, double> weights;
   double total = 0.0;
@@ -290,6 +331,7 @@ def self_test() -> int:
     expect("raw-rand fires", "raw-rand" in rules)
     expect("time-seeded-rng fires", "time-seeded-rng" in rules)
     expect("std-async fires", "std-async" in rules)
+    expect("failpoint-rng fires", "failpoint-rng" in rules)
     expect("unordered-accum fires", "unordered-accum" in rules)
 
     clean = check_file("src/clean.cpp", CLEAN_FIXTURE)
@@ -314,6 +356,19 @@ def self_test() -> int:
             '  COMPILE_OPTIONS "-ffp-contract=off")\n')
         fp_ok = check_fp_contract(root)
         expect("fp-contract quiet when property present", not fp_ok)
+
+        # Structural failpoint-rng check: fires when failpoint.cpp stops
+        # routing through Rng, quiet when it does.
+        (root / "src" / "util").mkdir(parents=True)
+        fp_cpp = root / "src" / "util" / "failpoint.cpp"
+        fp_cpp.write_text("bool fire() { return counter++ % 7 == 0; }\n")
+        expect("failpoint-rng fires on Rng-free failpoint.cpp",
+               any(f.rule == "failpoint-rng"
+                   for f in check_failpoint_routing(root)))
+        fp_cpp.write_text("// prob draw\nbool fire(Rng& rng) "
+                          "{ return rng.uniform() < p; }\n")
+        expect("failpoint-rng quiet when routed through Rng",
+               not check_failpoint_routing(root))
 
     if failures:
         for name in failures:

@@ -77,6 +77,26 @@ void Adam::step(const std::vector<Matrix*>& params,
   }
 }
 
+AdamState Adam::state() const {
+  AdamState st;
+  st.iterations = iterations_;
+  st.beta1_pow = beta1_pow_;
+  st.beta2_pow = beta2_pow_;
+  st.m = m_;
+  st.v = v_;
+  return st;
+}
+
+void Adam::set_state(AdamState st) {
+  if (st.m.size() != st.v.size())
+    throw std::invalid_argument("Adam::set_state: m/v count mismatch");
+  iterations_ = st.iterations;
+  beta1_pow_ = st.beta1_pow;
+  beta2_pow_ = st.beta2_pow;
+  m_ = std::move(st.m);
+  v_ = std::move(st.v);
+}
+
 double ExponentialDecaySchedule::lr(std::uint64_t step) const {
   if (decay_steps_ == 0) return lr0_;
   const double e =

@@ -43,6 +43,16 @@ class Sgd final : public Optimizer {
   std::vector<tensor::Matrix> velocity_;
 };
 
+/// Adam's mutable state, snapshotted whole: moments, running bias-correction
+/// powers and the step counter. Restoring it (set_state) makes a subsequent
+/// step() bitwise-identical to one taken from the original — the trainer's
+/// divergence rollback and durable train checkpoints both ride on this.
+struct AdamState {
+  std::uint64_t iterations = 0;
+  double beta1_pow = 1.0, beta2_pow = 1.0;
+  std::vector<tensor::Matrix> m, v;
+};
+
 /// Adam (Kingma & Ba) with bias correction — the optimizer Modulus uses for
 /// the paper's examples.
 class Adam final : public Optimizer {
@@ -53,6 +63,13 @@ class Adam final : public Optimizer {
             const std::vector<tensor::Matrix>& grads) override;
   void set_learning_rate(double lr) override { lr_ = lr; }
   double learning_rate() const override { return lr_; }
+
+  /// Deep copy of the mutable state (hyperparameters excluded — they live
+  /// in the constructor arguments and set_learning_rate).
+  AdamState state() const;
+  /// Restores a snapshot taken by state(). The moment shapes must match the
+  /// params of the next step() (checked there, as on any step).
+  void set_state(AdamState st);
 
  private:
   double lr_, beta1_, beta2_, eps_;

@@ -1,6 +1,5 @@
 #include "nn/serialize.hpp"
 
-#include <bit>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -9,11 +8,20 @@
 
 #include "nn/activation.hpp"
 #include "nn/encoding.hpp"
+#include "util/binio.hpp"
+#include "util/fs.hpp"
 #include "util/rng.hpp"
 
 namespace sgm::nn {
 
 namespace {
+
+using util::binio::ByteReader;
+using util::binio::fnv1a64;
+using util::binio::put_f64;
+using util::binio::put_str;
+using util::binio::put_u32;
+using util::binio::put_u64;
 
 constexpr char kMagicV2[8] = {'S', 'G', 'M', 'C', 'K', 'P', 'T', '2'};
 constexpr const char* kMagicV1 = "sgm-mlp";  // legacy text format
@@ -21,89 +29,25 @@ constexpr const char* kMagicV1 = "sgm-mlp";  // legacy text format
 constexpr std::uint32_t kEncodingNone = 0;
 constexpr std::uint32_t kEncodingFourier = 1;
 
-std::uint64_t fnv1a64(const char* data, std::size_t n) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-// Explicit little-endian byte (de)composition — the format's portability
-// contract does not depend on host byte order.
-void put_u32(std::string& b, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-void put_u64(std::string& b, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-void put_f64(std::string& b, double v) {
-  put_u64(b, std::bit_cast<std::uint64_t>(v));
-}
-void put_str(std::string& b, const std::string& s) {
-  put_u32(b, static_cast<std::uint32_t>(s.size()));
-  b.append(s);
-}
 void put_matrix(std::string& b, const tensor::Matrix& m) {
   put_u64(b, m.rows());
   put_u64(b, m.cols());
   for (std::size_t i = 0; i < m.size(); ++i) put_f64(b, m.data()[i]);
 }
 
-class ByteReader {
- public:
-  ByteReader(const char* p, std::size_t n) : p_(p), end_(p + n) {}
-
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p_[i]))
-           << (8 * i);
-    p_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p_[i]))
-           << (8 * i);
-    p_ += 8;
-    return v;
-  }
-  double f64() { return std::bit_cast<double>(u64()); }
-  std::string str() {
-    const std::uint32_t n = u32();
-    need(n);
-    std::string s(p_, n);
-    p_ += n;
-    return s;
-  }
-  tensor::Matrix matrix() {
-    const std::uint64_t rows = u64();
-    const std::uint64_t cols = u64();
-    if (rows > (1ull << 24) || cols > (1ull << 24) ||
-        rows * cols > remaining() / 8)
-      throw std::runtime_error("checkpoint: implausible tensor shape " +
-                               std::to_string(rows) + "x" +
-                               std::to_string(cols));
-    tensor::Matrix m(static_cast<std::size_t>(rows),
-                     static_cast<std::size_t>(cols));
-    for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = f64();
-    return m;
-  }
-  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
-
- private:
-  void need(std::size_t n) {
-    if (remaining() < n)
-      throw std::runtime_error("checkpoint: truncated body");
-  }
-  const char* p_;
-  const char* end_;
-};
+tensor::Matrix read_matrix(ByteReader& r) {
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t cols = r.u64();
+  if (rows > (1ull << 24) || cols > (1ull << 24) ||
+      rows * cols > r.remaining() / 8)
+    throw std::runtime_error("checkpoint: implausible tensor shape " +
+                             std::to_string(rows) + "x" +
+                             std::to_string(cols));
+  tensor::Matrix m(static_cast<std::size_t>(rows),
+                   static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = r.f64();
+  return m;
+}
 
 /// Serialized architecture + weights + meta: the checksummed body.
 std::string encode_body(const Mlp& net, const CheckpointMeta& meta) {
@@ -155,7 +99,7 @@ DecodedBody decode_body(const char* data, std::size_t n) {
   cfg.activation = &activation_by_name(r.str());
   const std::uint32_t enc_kind = r.u32();
   if (enc_kind == kEncodingFourier) {
-    cfg.encoding = std::make_shared<FourierEncoding>(r.matrix());
+    cfg.encoding = std::make_shared<FourierEncoding>(read_matrix(r));
   } else if (enc_kind != kEncodingNone) {
     throw std::runtime_error("checkpoint: unknown encoding kind " +
                              std::to_string(enc_kind));
@@ -164,7 +108,7 @@ DecodedBody decode_body(const char* data, std::size_t n) {
   const std::uint64_t count = r.u64();
   out.tensors.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t t = 0; t < count; ++t)
-    out.tensors.push_back(r.matrix());
+    out.tensors.push_back(read_matrix(r));
   if (r.remaining() != 0)
     throw std::runtime_error("checkpoint: trailing bytes after tensors");
   return out;
@@ -205,14 +149,23 @@ std::pair<const char*, std::size_t> checked_body(const std::string& raw) {
   return {body, body_size};
 }
 
-void write_v2(std::ostream& out, const std::string& body) {
+/// magic + format version + body + checksum trailer: the full file image.
+std::string v2_file_bytes(const std::string& body) {
   std::string file;
   file.reserve(sizeof(kMagicV2) + 4 + body.size() + 8);
   file.append(kMagicV2, sizeof(kMagicV2));
   put_u32(file, kCheckpointFormatVersion);
   file.append(body);
   put_u64(file, fnv1a64(body.data(), body.size()));
+  return file;
+}
+
+void write_v2(std::ostream& out, const std::string& body) {
+  const std::string file = v2_file_bytes(body);
   out.write(file.data(), static_cast<std::streamsize>(file.size()));
+  // flush() forces buffered bytes down to the sink so deferred write
+  // errors (full disk) surface here, not silently at destruction.
+  out.flush();
   if (!out) throw std::runtime_error("checkpoint: stream write failed");
 }
 
@@ -287,9 +240,8 @@ void load_parameters(Mlp& net, std::istream& in) {
 }
 
 void save_checkpoint(const Mlp& net, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  save_parameters(net, out);
+  util::write_file_durable(path,
+                           v2_file_bytes(encode_body(net, CheckpointMeta{})));
 }
 
 void load_checkpoint(Mlp& net, const std::string& path) {
@@ -309,9 +261,7 @@ void save_model(const Mlp& net, std::ostream& out,
 
 void save_model_file(const Mlp& net, const std::string& path,
                      const CheckpointMeta& meta) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_model_file: cannot open " + path);
-  save_model(net, out, meta);
+  util::write_file_durable(path, v2_file_bytes(encode_body(net, meta)));
 }
 
 LoadedModel load_model(std::istream& in) {

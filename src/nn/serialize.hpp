@@ -65,7 +65,10 @@ void save_parameters(const Mlp& net, std::ostream& out);
 /// architecture mismatch.
 void load_parameters(Mlp& net, std::istream& in);
 
-/// File-path convenience wrappers.
+/// File-path wrappers. Saving is crash-safe and durable: the bytes go
+/// through util::write_file_durable (temp file + fsync file + atomic
+/// rename + fsync directory), so `path` never names a partial checkpoint
+/// and a completed save survives power loss.
 void save_checkpoint(const Mlp& net, const std::string& path);
 void load_checkpoint(Mlp& net, const std::string& path);
 
@@ -73,7 +76,10 @@ void load_checkpoint(Mlp& net, const std::string& path);
 // Full-model API (architecture restored from the header)
 // ---------------------------------------------------------------------------
 
-/// Writes `net` with `meta` as a v2 binary checkpoint.
+/// Writes `net` with `meta` as a v2 binary checkpoint. The file variant
+/// is crash-safe + durable (same write_file_durable protocol as
+/// save_checkpoint); the stream variant flushes and checks the stream but
+/// cannot fsync — callers owning a path should prefer the file variant.
 void save_model(const Mlp& net, std::ostream& out, const CheckpointMeta& meta);
 void save_model_file(const Mlp& net, const std::string& path,
                      const CheckpointMeta& meta);

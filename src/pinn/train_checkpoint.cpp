@@ -1,0 +1,150 @@
+#include "pinn/train_checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/binio.hpp"
+#include "util/fs.hpp"
+
+namespace sgm::pinn {
+
+namespace {
+
+using util::binio::ByteReader;
+using util::binio::fnv1a64;
+using util::binio::put_f64;
+using util::binio::put_u32;
+using util::binio::put_u64;
+
+constexpr char kMagic[] = "SGMTRNC1";  // 8 bytes, no NUL on disk
+constexpr std::uint32_t kFormatVersion = 1;
+
+void put_matrix(std::string& b, const tensor::Matrix& m) {
+  put_u64(b, m.rows());
+  put_u64(b, m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) put_f64(b, m.data()[i]);
+}
+
+tensor::Matrix read_matrix(ByteReader& r) {
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t cols = r.u64();
+  // 8 bytes per element: any honest shape fits in the remaining bytes.
+  if (cols != 0 && rows > r.remaining() / (8 * cols))
+    throw std::runtime_error("train checkpoint: implausible tensor shape");
+  tensor::Matrix m(static_cast<std::size_t>(rows),
+                   static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = r.f64();
+  return m;
+}
+
+void put_matrices(std::string& b, const std::vector<tensor::Matrix>& ms) {
+  put_u64(b, ms.size());
+  for (const auto& m : ms) put_matrix(b, m);
+}
+
+std::vector<tensor::Matrix> read_matrices(ByteReader& r) {
+  const std::uint64_t count = r.u64();
+  if (count > r.remaining() / 16)  // each matrix costs >= 16 header bytes
+    throw std::runtime_error("train checkpoint: implausible tensor count");
+  std::vector<tensor::Matrix> ms;
+  ms.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) ms.push_back(read_matrix(r));
+  return ms;
+}
+
+std::string encode_body(const TrainCheckpoint& ckpt) {
+  std::string b;
+  put_u64(b, ckpt.iteration);
+  put_f64(b, ckpt.train_wall_s);
+  put_f64(b, ckpt.loss_accum);
+  put_u64(b, ckpt.loss_count);
+  put_f64(b, ckpt.lr_scale);
+  for (const std::uint64_t s : ckpt.rng.s) put_u64(b, s);
+  put_f64(b, ckpt.rng.spare_normal);
+  put_u64(b, ckpt.rng.has_spare ? 1 : 0);
+  put_u64(b, ckpt.adam.iterations);
+  put_f64(b, ckpt.adam.beta1_pow);
+  put_f64(b, ckpt.adam.beta2_pow);
+  put_matrices(b, ckpt.adam.m);
+  put_matrices(b, ckpt.adam.v);
+  put_matrices(b, ckpt.params);
+  put_u64(b, ckpt.sampler.indices.size());
+  for (const std::uint32_t idx : ckpt.sampler.indices) put_u32(b, idx);
+  put_u64(b, ckpt.sampler.cursor);
+  put_u64(b, ckpt.sampler.shuffled ? 1 : 0);
+  return b;
+}
+
+TrainCheckpoint decode_body(ByteReader& r) {
+  TrainCheckpoint ckpt;
+  ckpt.iteration = r.u64();
+  ckpt.train_wall_s = r.f64();
+  ckpt.loss_accum = r.f64();
+  ckpt.loss_count = r.u64();
+  ckpt.lr_scale = r.f64();
+  for (std::uint64_t& s : ckpt.rng.s) s = r.u64();
+  ckpt.rng.spare_normal = r.f64();
+  ckpt.rng.has_spare = r.u64() != 0;
+  ckpt.adam.iterations = r.u64();
+  ckpt.adam.beta1_pow = r.f64();
+  ckpt.adam.beta2_pow = r.f64();
+  ckpt.adam.m = read_matrices(r);
+  ckpt.adam.v = read_matrices(r);
+  ckpt.params = read_matrices(r);
+  const std::uint64_t dealer_count = r.u64();
+  if (dealer_count > r.remaining() / 4)
+    throw std::runtime_error("train checkpoint: implausible dealer size");
+  ckpt.sampler.indices.reserve(static_cast<std::size_t>(dealer_count));
+  for (std::uint64_t i = 0; i < dealer_count; ++i)
+    ckpt.sampler.indices.push_back(r.u32());
+  ckpt.sampler.cursor = r.u64();
+  ckpt.sampler.shuffled = r.u64() != 0;
+  if (r.remaining() != 0)
+    throw std::runtime_error("train checkpoint: trailing bytes after body");
+  return ckpt;
+}
+
+}  // namespace
+
+void save_train_checkpoint(const TrainCheckpoint& ckpt,
+                           const std::string& path) {
+  const std::string body = encode_body(ckpt);
+  std::string bytes;
+  bytes.reserve(body.size() + 24);
+  bytes.append(kMagic, 8);
+  put_u32(bytes, kFormatVersion);
+  put_u64(bytes, body.size());
+  bytes += body;
+  put_u64(bytes, fnv1a64(body.data(), body.size()));
+  util::write_file_durable(path, bytes);
+}
+
+TrainCheckpoint load_train_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("train checkpoint: cannot open '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < 28 || bytes.compare(0, 8, kMagic, 8) != 0)
+    throw std::runtime_error("train checkpoint: bad magic in '" + path + "'");
+  ByteReader head(bytes.data() + 8, bytes.size() - 8);
+  const std::uint32_t version = head.u32();
+  if (version != kFormatVersion)
+    throw std::runtime_error("train checkpoint: unsupported format version " +
+                             std::to_string(version));
+  const std::uint64_t body_size = head.u64();
+  if (head.remaining() != body_size + 8)
+    throw std::runtime_error("train checkpoint: truncated '" + path + "'");
+  const char* body = bytes.data() + 20;
+  ByteReader tail(body + body_size, 8);
+  const std::uint64_t stored = tail.u64();
+  const std::uint64_t actual = fnv1a64(body, body_size);
+  if (stored != actual)
+    throw std::runtime_error("train checkpoint: checksum mismatch in '" +
+                             path + "'");
+  ByteReader r(body, static_cast<std::size_t>(body_size));
+  return decode_body(r);
+}
+
+}  // namespace sgm::pinn

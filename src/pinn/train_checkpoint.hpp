@@ -1,0 +1,54 @@
+#pragma once
+// Durable training checkpoints: everything the Trainer needs to continue a
+// run byte-identically after a crash — completed-iteration count, all
+// parameter tensors, the full Adam state (moments + bias-correction powers
+// + step counter), the RNG state and the telemetry accumulators.
+//
+// Format "SGMTRNC1": magic, u32 format version, little-endian body, FNV-1a64
+// checksum trailer (same binio encoding and corruption posture as the model
+// checkpoint v2 format — a flipped byte is a load error, not a silently
+// wrong resume). Writes go through util::write_file_durable, so the path
+// never names a partial checkpoint and a completed save survives power loss.
+//
+// Exactness caveat: the byte-identical-resume guarantee covers the state
+// captured here, which includes the sampler's dealer position (epoch
+// permutation + cursor) — resume is bit-exact mid-epoch for samplers whose
+// batch stream is pure (dealer, rng), i.e. uniform. SGM samplers keep
+// importance/refresh tables outside this snapshot, so their resume is
+// best-effort: still a valid run, different trajectory.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/optimizer.hpp"
+#include "samplers/sampler.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace sgm::pinn {
+
+struct TrainCheckpoint {
+  std::uint64_t iteration = 0;  ///< iterations completed when captured
+  double train_wall_s = 0.0;    ///< cumulative train wall clock
+  double loss_accum = 0.0;      ///< mean-loss accumulator since last record
+  std::uint64_t loss_count = 0;
+  double lr_scale = 1.0;        ///< divergence-backoff multiplier
+  util::RngState rng;
+  nn::AdamState adam;
+  std::vector<tensor::Matrix> params;  ///< net_.parameters() order
+  /// Sampler dealer position; empty indices = sampler keeps no resumable
+  /// state (restore skips it).
+  samplers::DealerState sampler;
+};
+
+/// Crash-safe save (util::write_file_durable). Throws std::runtime_error on
+/// any I/O failure.
+void save_train_checkpoint(const TrainCheckpoint& ckpt,
+                           const std::string& path);
+
+/// Loads and checksum-verifies a checkpoint. Throws std::runtime_error on
+/// missing/truncated/corrupt files.
+TrainCheckpoint load_train_checkpoint(const std::string& path);
+
+}  // namespace sgm::pinn

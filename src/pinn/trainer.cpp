@@ -1,12 +1,26 @@
 #include "pinn/trainer.hpp"
 
+#include <cmath>
+#include <filesystem>
 #include <memory>
+#include <stdexcept>
 
+#include "pinn/train_checkpoint.hpp"
 #include "util/csv.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sgm::pinn {
+
+namespace {
+bool all_finite(const tensor::Matrix& m) {
+  const double* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i)
+    if (!std::isfinite(p[i])) return false;
+  return true;
+}
+}  // namespace
 
 double TrainHistory::best_error(const std::string& metric) const {
   double best = std::numeric_limits<double>::infinity();
@@ -81,7 +95,73 @@ TrainHistory Trainer::run() {
   std::vector<tensor::Matrix> grads;
   const std::vector<tensor::Matrix*> params = net_.parameters();
 
-  for (std::uint64_t it = 0; it < opt_.max_iterations; ++it) {
+  double lr_scale = 1.0;  ///< divergence-backoff multiplier on the schedule
+  std::uint64_t it = 0;   ///< completed iterations
+
+  // TrainCheckpoint doubles as the in-memory rollback snapshot — it is by
+  // construction exactly the state the loop reads.
+  auto capture = [&]() {
+    TrainCheckpoint s;
+    s.iteration = it;
+    s.train_wall_s = train_wall;
+    s.loss_accum = loss_accum;
+    s.loss_count = loss_count;
+    s.lr_scale = lr_scale;
+    s.rng = rng.state();
+    s.adam = adam.state();
+    s.params.reserve(params.size());
+    for (const auto* p : params) s.params.push_back(*p);
+    s.sampler = sampler_.resume_state();
+    return s;
+  };
+  auto restore = [&](const TrainCheckpoint& s) {
+    if (s.params.size() != params.size())
+      throw std::invalid_argument("Trainer: checkpoint has " +
+                                  std::to_string(s.params.size()) +
+                                  " tensors, net has " +
+                                  std::to_string(params.size()));
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!params[i]->same_shape(s.params[i]))
+        throw std::invalid_argument(
+            "Trainer: checkpoint tensor shape mismatch at " +
+            std::to_string(i));
+      *params[i] = s.params[i];
+    }
+    it = s.iteration;
+    train_wall = s.train_wall_s;
+    loss_accum = s.loss_accum;
+    loss_count = s.loss_count;
+    lr_scale = s.lr_scale;
+    rng.set_state(s.rng);
+    adam.set_state(s.adam);
+    // Empty dealer state = this sampler keeps no resumable stream position
+    // (SGM rebuilds its tables); restoring would be meaningless.
+    if (!s.sampler.indices.empty()) sampler_.set_resume_state(s.sampler);
+  };
+
+  if (opt_.resume && !opt_.checkpoint_path.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(opt_.checkpoint_path, ec)) {
+      restore(load_train_checkpoint(opt_.checkpoint_path));
+      history.resumed_from_iteration = it;
+      util::log_info() << "Trainer[" << sampler_.name() << "]: resumed '"
+                       << opt_.checkpoint_path << "' at iteration " << it;
+    } else {
+      util::log_info() << "Trainer[" << sampler_.name()
+                       << "]: resume requested but '" << opt_.checkpoint_path
+                       << "' does not exist; starting fresh";
+    }
+  }
+
+  TrainCheckpoint snapshot;  ///< rollback point (valid iff have_snapshot)
+  bool have_snapshot = false;
+  std::size_t retries = 0;  ///< divergences since the last good snapshot
+  if (opt_.snapshot_every > 0) {
+    snapshot = capture();
+    have_snapshot = true;
+  }
+
+  while (it < opt_.max_iterations) {
     util::WallTimer step_timer;
 
     sampler_.maybe_refresh(it, evaluate, rng);
@@ -95,24 +175,78 @@ TrainHistory Trainer::run() {
     tape.backward(loss);
     net_.collect_grads_into(tape, binding, &grads);
 
-    adam.set_learning_rate(schedule.lr(it));
+    // Divergence sentinel — checked BEFORE the optimizer applies the step,
+    // so a blow-up never reaches the parameters. `trainer.diverge` injects
+    // one for the chaos tests.
+    const double loss_value = tape.value(loss)(0, 0);
+    bool diverged =
+        !std::isfinite(loss_value) || SGM_FAILPOINT_HIT("trainer.diverge");
+    if (!diverged) {
+      for (const auto& g : grads) {
+        if (!all_finite(g)) {
+          diverged = true;
+          break;
+        }
+      }
+    }
+    if (diverged) {
+      train_wall += step_timer.elapsed_s();  // blown steps cost real time
+      ++history.divergence_rollbacks;
+      if (!have_snapshot)
+        throw std::runtime_error(
+            "Trainer: non-finite loss/gradient at iteration " +
+            std::to_string(it) +
+            " and rollback is disabled (snapshot_every == 0)");
+      if (++retries > opt_.max_divergence_retries)
+        throw std::runtime_error(
+            "Trainer: diverged " + std::to_string(retries) +
+            " times since the last good snapshot (iteration " +
+            std::to_string(snapshot.iteration) + "); giving up");
+      const double backed_off = lr_scale * opt_.divergence_lr_backoff;
+      restore(snapshot);
+      lr_scale = backed_off;  // keep the new backoff, not the snapshot's
+      // Drop telemetry from the rolled-back segment so history never shows
+      // an iteration twice. (Rows already written to the CSV stay — the
+      // history object is the source of truth for the tables.)
+      while (!history.records.empty() &&
+             history.records.back().iteration > it)
+        history.records.pop_back();
+      util::log_info() << "Trainer[" << sampler_.name()
+                       << "]: divergence -> rolled back to iteration " << it
+                       << ", lr scale " << lr_scale;
+      continue;
+    }
+
+    adam.set_learning_rate(schedule.lr(it) * lr_scale);
     adam.step(params, grads);
 
     train_wall += step_timer.elapsed_s();
-    loss_accum += tape.value(loss)(0, 0);
+    loss_accum += loss_value;
     ++loss_count;
+    ++it;
 
-    const bool last = (it + 1 == opt_.max_iterations);
+    const bool last = (it == opt_.max_iterations);
     const bool budget_hit =
         opt_.wall_time_budget_s > 0.0 && train_wall >= opt_.wall_time_budget_s;
-    if ((it + 1) % opt_.validate_every == 0 || last || budget_hit)
-      record_point(it + 1);
+    if (it % opt_.validate_every == 0 || last || budget_hit)
+      record_point(it);
+    if (opt_.snapshot_every > 0 && it % opt_.snapshot_every == 0) {
+      snapshot = capture();
+      have_snapshot = true;
+      retries = 0;
+    }
+    if (!opt_.checkpoint_path.empty() &&
+        (last || budget_hit ||
+         (opt_.checkpoint_every > 0 && it % opt_.checkpoint_every == 0)))
+      save_train_checkpoint(capture(), opt_.checkpoint_path);
     if (budget_hit) {
       util::log_info() << "Trainer[" << sampler_.name()
-                       << "]: wall budget reached at iteration " << it + 1;
+                       << "]: wall budget reached at iteration " << it;
       break;
     }
   }
+
+  if (csv) csv->close();  // throwing final flush: lost telemetry is an error
 
   history.total_train_wall_s = train_wall;
   history.sampler_refresh_s = sampler_.refresh_seconds();

@@ -10,6 +10,25 @@
 //  * validation errors are recorded every `validate_every` iterations,
 //    giving the error-vs-time curves of Figs. 2-3 and the minima /
 //    time-to-reach entries of Tables 1-2.
+//
+// Robustness (opt-in via TrainerOptions, off by default so paper runs are
+// untouched):
+//  * divergence sentinel — every step's loss and gradients are checked for
+//    non-finite values BEFORE the optimizer applies them, so a blow-up
+//    never poisons the parameters. On divergence the trainer rolls back to
+//    the last periodic in-memory snapshot (params + Adam state + RNG +
+//    telemetry accumulators), halves the learning rate (divergence_lr_
+//    backoff) and retries; retries are bounded per snapshot interval
+//    (max_divergence_retries), after which it throws. The `trainer.diverge`
+//    failpoint injects a divergence for the chaos tests.
+//  * durable checkpoints — checkpoint_path + checkpoint_every write a
+//    crash-safe train checkpoint (pinn/train_checkpoint.*); `resume` picks
+//    the run back up from it. The snapshot carries everything the loop
+//    reads — params, Adam, RNG, accumulators AND the sampler's dealer
+//    position — so resume is byte-identical (even mid-epoch) for samplers
+//    whose batch stream is pure (dealer, rng), i.e. uniform. SGM samplers
+//    rebuild their refresh tables and continue as a valid but not
+//    bit-equal run.
 
 #include <limits>
 #include <string>
@@ -37,6 +56,23 @@ struct TrainerOptions {
   /// num_threads). 0 = SGM_NUM_THREADS env or hardware concurrency.
   /// Histories are byte-identical at any setting.
   std::size_t num_threads = 0;
+
+  // --- robustness / recovery (all off by default) --------------------------
+  /// Take an in-memory rollback snapshot every N completed iterations
+  /// (0 = off). With snapshots off, a detected divergence throws instead of
+  /// rolling back.
+  std::uint64_t snapshot_every = 0;
+  /// Divergences tolerated per snapshot interval before giving up.
+  std::size_t max_divergence_retries = 3;
+  /// Learning-rate multiplier applied on every rollback (compounds).
+  double divergence_lr_backoff = 0.5;
+  /// Durable train checkpoint file ("" = off); written every
+  /// checkpoint_every completed iterations and at the final iteration.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+  /// Resume from checkpoint_path if the file exists (fresh start with a
+  /// warning when it does not).
+  bool resume = false;
 };
 
 struct TrainRecord {
@@ -52,6 +88,10 @@ struct TrainHistory {
   double sampler_refresh_s = 0.0;
   std::uint64_t sampler_loss_evaluations = 0;
   std::string sampler_name;
+  /// Divergence-sentinel rollbacks taken (0 on a healthy run).
+  std::uint64_t divergence_rollbacks = 0;
+  /// Iteration the run resumed from (0 = fresh start).
+  std::uint64_t resumed_from_iteration = 0;
 
   /// Minimum validation error observed for a metric (inf when absent).
   double best_error(const std::string& metric) const;

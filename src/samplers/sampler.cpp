@@ -40,6 +40,24 @@ std::vector<std::uint32_t> EpochDealer::next(std::size_t batch_size,
   return batch;
 }
 
+DealerState EpochDealer::state() const {
+  DealerState st;
+  st.indices = indices_;
+  st.cursor = cursor_;
+  st.shuffled = shuffled_;
+  return st;
+}
+
+void EpochDealer::set_state(DealerState state) {
+  if (state.indices.empty())
+    throw std::invalid_argument("EpochDealer: empty state");
+  if (state.cursor > state.indices.size())
+    throw std::invalid_argument("EpochDealer: cursor past the epoch end");
+  indices_ = std::move(state.indices);
+  cursor_ = static_cast<std::size_t>(state.cursor);
+  shuffled_ = state.shuffled;
+}
+
 AliasTable::AliasTable(const std::vector<double>& weights) {
   const std::size_t n = weights.size();
   if (n == 0) throw std::invalid_argument("AliasTable: empty weights");

@@ -24,6 +24,15 @@ namespace sgm::samplers {
 using LossEvaluator =
     std::function<std::vector<double>(const std::vector<std::uint32_t>&)>;
 
+/// Resumable position in a sampler's batch stream: the (possibly shuffled)
+/// epoch permutation plus the deal cursor. Carried inside train checkpoints
+/// so a resumed run replays the exact same batches as an uninterrupted one.
+struct DealerState {
+  std::vector<std::uint32_t> indices;
+  std::uint64_t cursor = 0;
+  bool shuffled = false;
+};
+
 class Sampler {
  public:
   virtual ~Sampler() = default;
@@ -51,6 +60,13 @@ class Sampler {
   /// Number of extra loss evaluations (forward passes) the sampler caused.
   std::uint64_t loss_evaluations() const { return loss_evaluations_; }
 
+  /// Resumable batch-stream state for checkpoints/rollback snapshots.
+  /// Samplers whose stream is fully determined by (state, rng) return their
+  /// dealer position; the default (importance samplers that rebuild their
+  /// tables on refresh) returns an empty state, and restore is a no-op.
+  virtual DealerState resume_state() const { return {}; }
+  virtual void set_resume_state(const DealerState& state) { (void)state; }
+
  protected:
   double refresh_seconds_ = 0.0;
   std::uint64_t loss_evaluations_ = 0;
@@ -72,6 +88,12 @@ class EpochDealer {
   std::vector<std::uint32_t> next(std::size_t batch_size, util::Rng& rng);
 
   std::size_t epoch_size() const { return indices_.size(); }
+
+  /// Snapshot / restore of the deal position (permutation + cursor), so a
+  /// resumed trainer continues mid-epoch exactly where it stopped. Restore
+  /// validates the cursor and rejects an empty permutation.
+  DealerState state() const;
+  void set_state(DealerState state);
 
  private:
   std::vector<std::uint32_t> indices_;

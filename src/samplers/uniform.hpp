@@ -18,6 +18,13 @@ class UniformSampler final : public Sampler {
     return dealer_.next(batch_size, rng);
   }
 
+  // The batch stream is pure (dealer state, rng): exposing the dealer makes
+  // checkpoint resume byte-identical even mid-epoch.
+  DealerState resume_state() const override { return dealer_.state(); }
+  void set_resume_state(const DealerState& state) override {
+    dealer_.set_state(state);
+  }
+
  private:
   EpochDealer dealer_;
 };

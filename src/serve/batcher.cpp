@@ -1,5 +1,6 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -165,9 +166,80 @@ InferenceBatcher::InferenceBatcher(ModelRegistry& registry, BatcherOptions opt,
 InferenceBatcher::~InferenceBatcher() { stop(); }
 
 InferenceBatcher::Response InferenceBatcher::query(const std::string& scenario,
-                                                   std::vector<double> x) {
+                                                   std::vector<double> x,
+                                                   double deadline_s) {
+  if (draining_.load(std::memory_order_acquire))
+    throw std::runtime_error("InferenceBatcher: query after stop()");
+  const double budget =
+      deadline_s < 0.0 ? opt_.default_deadline_s : deadline_s;
+  maybe_shed(budget);
   return opt_.mode == QueueMode::kRing ? ring_query(scenario, std::move(x))
                                        : mutex_query(scenario, std::move(x));
+}
+
+std::uint64_t InferenceBatcher::in_flight() const {
+  if (opt_.mode == QueueMode::kRing) {
+    // Derived, not counted: a slot absent from the freelist is owned by a
+    // client or the worker. Two relaxed loads; the lock-free request path
+    // pays nothing for this monitoring signal.
+    const std::size_t free_slots = freelist_->approx_size();
+    const std::size_t cap = ring_->capacity();
+    return free_slots >= cap ? 0 : cap - free_slots;
+  }
+  return in_flight_.load(std::memory_order_relaxed);
+}
+
+double InferenceBatcher::estimated_wait_s() const {
+  // A query enqueued now waits for the batches ahead of it; each batch
+  // costs at least the deadline-flush delay (a partial batch waits that
+  // long for stragglers) and at most the smoothed observed service time.
+  const double batch_s = std::max(
+      static_cast<double>(ewma_batch_ns_.load(std::memory_order_relaxed)) *
+          1e-9,
+      opt_.max_delay_s);
+  const std::uint64_t batches_ahead = in_flight() / opt_.max_batch + 1;
+  return static_cast<double>(batches_ahead) * batch_s;
+}
+
+void InferenceBatcher::maybe_shed(double budget) const {
+  if (budget <= 0.0) return;
+  const double est = estimated_wait_s();
+  if (est <= budget) return;
+  if (metrics_)
+    metrics_->deadline_shed_total.fetch_add(1, std::memory_order_relaxed);
+  note_shed();
+  throw DeadlineExceededError(
+      "InferenceBatcher: estimated queue wait " + std::to_string(est) +
+          " s exceeds the request deadline budget " + std::to_string(budget) +
+          " s",
+      est);
+}
+
+void InferenceBatcher::note_shed() const {
+  shed_since_health_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HealthState InferenceBatcher::health() {
+  if (draining_.load(std::memory_order_acquire)) return HealthState::kDraining;
+  // Latched: any shed since the previous probe marks one degraded reading.
+  if (shed_since_health_.exchange(0, std::memory_order_relaxed) != 0)
+    return HealthState::kDegraded;
+  const std::uint64_t depth = in_flight();
+  if (opt_.mode == QueueMode::kRing) {
+    if (depth * 2 >= ring_->capacity()) return HealthState::kDegraded;
+  } else if (depth >= 4 * opt_.max_batch) {
+    return HealthState::kDegraded;
+  }
+  return HealthState::kOk;
+}
+
+void InferenceBatcher::update_service_ewma(double batch_s) {
+  const auto ns = static_cast<std::uint64_t>(batch_s * 1e9);
+  // Racy read-modify-write across workers: acceptable — the EWMA only
+  // feeds estimated_wait_s, a monitoring signal, never correctness.
+  const std::uint64_t prev = ewma_batch_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t next = prev == 0 ? ns : (prev * 7 + ns) / 8;
+  ewma_batch_ns_.store(next, std::memory_order_relaxed);
 }
 
 void InferenceBatcher::count_flush(std::size_t batch_size) {
@@ -192,6 +264,7 @@ InferenceBatcher::Response InferenceBatcher::ring_query(
     // Bounded queue full: shed load now instead of queueing unboundedly.
     if (metrics_)
       metrics_->rejected_total.fetch_add(1, std::memory_order_relaxed);
+    note_shed();
     throw QueueFullError("InferenceBatcher: request queue full (capacity " +
                          std::to_string(ring_->capacity()) + ")");
   }
@@ -394,6 +467,7 @@ void InferenceBatcher::ring_worker_loop() {
 
 void InferenceBatcher::serve_slots(const std::vector<std::uint32_t>& batch) {
   if (batch.empty()) return;
+  util::WallTimer service_timer;  // feeds the estimated-wait EWMA
 
   // One acquire per batch: every response below carries this version.
   ServedModelPtr served;
@@ -471,6 +545,7 @@ void InferenceBatcher::serve_slots(const std::vector<std::uint32_t>& batch) {
       metrics_->query_latency.record(slot.since_enqueue.elapsed_s());
     complete_slot(slot);
   }
+  update_service_ewma(service_timer.elapsed_s());
 }
 
 // ---------------------------------------------------------------------------
@@ -492,8 +567,10 @@ InferenceBatcher::Response InferenceBatcher::mutex_query(
       throw std::runtime_error("InferenceBatcher: query after stop()");
     queue_.push_back(std::move(pending));
   }
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
   Pending::Outcome out = fut.get();
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   if (out.err != ErrKind::kNone) rethrow(out.err, out.message);
   return std::move(out.resp);
 }
@@ -544,6 +621,7 @@ void InferenceBatcher::mutex_worker_loop() {
 void InferenceBatcher::serve_batch(
     std::vector<std::unique_ptr<Pending>> batch) {
   if (batch.empty()) return;
+  util::WallTimer service_timer;  // feeds the estimated-wait EWMA
 
   ServedModelPtr served;
   try {
@@ -613,13 +691,28 @@ void InferenceBatcher::serve_batch(
       metrics_->query_latency.record(valid[r]->since_enqueue.elapsed_s());
     valid[r]->fulfill(std::move(resp));
   }
+  update_service_ewma(service_timer.elapsed_s());
 }
 
 // ---------------------------------------------------------------------------
 // Shutdown
 // ---------------------------------------------------------------------------
 
+void InferenceBatcher::graceful_drain() {
+  // Step 1 of stop(): flip to draining (query() rejects from here on) and
+  // give the workers a bounded window to answer what was already accepted.
+  // Already-draining calls fall through immediately once in-flight work
+  // is gone, keeping stop() idempotent.
+  draining_.store(true, std::memory_order_seq_cst);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opt_.drain_deadline_s));
+  while (in_flight() != 0 && Clock::now() < deadline)
+    std::this_thread::yield();
+}
+
 void InferenceBatcher::stop() {
+  graceful_drain();
   if (opt_.mode == QueueMode::kRing) {
     stop_flag_.store(true, std::memory_order_seq_cst);
     // Let in-flight ring pushes land before the final drain (Dekker pair

@@ -56,6 +56,34 @@ class QueueFullError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by query() when the estimated queue wait already exceeds the
+/// request's deadline budget — shedding up front beats queueing work whose
+/// answer will arrive too late to matter. The HTTP front end maps it to
+/// 503 + a Retry-After hint of retry_after_s().
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  DeadlineExceededError(const std::string& what, double retry_after_s)
+      : std::runtime_error(what), retry_after_s_(retry_after_s) {}
+  double retry_after_s() const { return retry_after_s_; }
+
+ private:
+  double retry_after_s_;
+};
+
+/// Serving health, coarsest first: kOk (normal), kDegraded (load was shed
+/// since the last probe, or occupancy crossed half the queue bound —
+/// callers should back off), kDraining (stop() in progress; no new work).
+enum class HealthState : std::uint8_t { kOk, kDegraded, kDraining };
+
+constexpr const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kOk: return "ok";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
 enum class QueueMode : std::uint8_t {
   kRing,   ///< lock-free ring + pooled response slots (default)
   kMutex,  ///< PR 6 mutex-guarded deque + promise/future (A/B baseline)
@@ -71,6 +99,12 @@ struct BatcherOptions {
   /// count. Rounded up to a power of two. Queries beyond it are rejected
   /// with QueueFullError.
   std::size_t queue_capacity = 1024;
+  /// Deadline budget applied to queries that don't carry their own
+  /// (seconds). 0 disables deadline shedding — the PR 8 behavior.
+  double default_deadline_s = 0.0;
+  /// stop() serves already-accepted queries for at most this long before
+  /// failing the remainder (graceful drain bound).
+  double drain_deadline_s = 2.0;
 };
 
 class InferenceBatcher {
@@ -92,20 +126,46 @@ class InferenceBatcher {
   /// Blocking: enqueues, waits for the coalesced forward, returns the row.
   /// Throws std::out_of_range for unpublished scenarios,
   /// std::invalid_argument for wrong input width, QueueFullError when the
-  /// bounded queue is full, std::runtime_error after stop(). Worker-side
+  /// bounded queue is full, DeadlineExceededError when `deadline_s` (or
+  /// opt_.default_deadline_s when deadline_s < 0) is smaller than the
+  /// estimated queue wait, std::runtime_error after stop(). Worker-side
   /// failures travel as an error code + message and are rethrown here as
   /// fresh exceptions — exception objects never cross threads (their
   /// libstdc++-internal refcounting is opaque to TSan, and a failed batch
   /// would otherwise share one object across all its callers).
-  Response query(const std::string& scenario, std::vector<double> x);
+  Response query(const std::string& scenario, std::vector<double> x,
+                 double deadline_s = -1.0);
 
-  /// Drains the queue (pending requests fail with std::runtime_error) and
-  /// joins the workers. Idempotent; also called by the destructor.
+  /// Graceful drain: refuses new queries immediately, serves what was
+  /// already accepted for up to opt_.drain_deadline_s, then hard-stops
+  /// (stragglers fail with std::runtime_error) and joins the workers.
+  /// Idempotent; also called by the destructor.
   void stop();
+
+  /// Current health (see HealthState). Reading it consumes the "load was
+  /// shed since the last probe" degraded latch, so a single poller (the
+  /// /healthz endpoint) sees degraded for exactly one probe per incident
+  /// burst rather than forever.
+  HealthState health();
+
+  /// Estimated time a query enqueued now waits before its batch completes
+  /// (in-flight depth × smoothed batch service time). Monitoring + the
+  /// deadline-shed decision; never a correctness signal.
+  double estimated_wait_s() const;
+
+  /// Requests accepted but not yet answered (monitoring estimate). Ring
+  /// mode derives this from the freelist occupancy — the request hot path
+  /// carries no extra shared-line RMW for it; mutex mode counts directly.
+  std::uint64_t in_flight() const;
 
  private:
   struct Pending;
   struct Slot;
+
+  /// Sheds a query whose deadline budget the estimated wait exceeds:
+  /// counts it and throws DeadlineExceededError. `budget <= 0` never sheds.
+  void maybe_shed(double budget) const;
+  void note_shed() const;  ///< feeds metrics + the degraded-health latch
 
   // --- ring mode -----------------------------------------------------------
   Response ring_query(const std::string& scenario, std::vector<double>&& x);
@@ -120,6 +180,7 @@ class InferenceBatcher {
 
   // --- legacy mutex mode ---------------------------------------------------
   Response mutex_query(const std::string& scenario, std::vector<double>&& x);
+  void graceful_drain();  ///< bounded wait for in-flight work (stop() step 1)
   void mutex_worker_loop();
   void serve_batch(std::vector<std::unique_ptr<Pending>> batch);
   /// Moves every queued request for `scenario` (up to max_batch) into
@@ -129,6 +190,7 @@ class InferenceBatcher {
       SGM_REQUIRES(mu_);
 
   void count_flush(std::size_t batch_size);
+  void update_service_ewma(double batch_s);
 
   ModelRegistry& registry_;
   BatcherOptions opt_;
@@ -142,6 +204,17 @@ class InferenceBatcher {
   util::RingGate gate_;
   std::atomic<bool> stop_flag_{false};
   std::atomic<std::uint32_t> pending_pushes_{0};  ///< stop/push Dekker pair
+
+  // Health / degradation state (both modes).
+  std::atomic<bool> draining_{false};  ///< stop() entered its drain phase
+  /// Mutex-mode in-flight count (ring mode derives it from the freelist —
+  /// see in_flight() — to keep the lock-free path free of extra RMWs).
+  std::atomic<std::uint64_t> in_flight_{0};
+  /// EWMA of batch service time in ns (racy cross-worker update; feeds
+  /// estimated_wait_s only).
+  std::atomic<std::uint64_t> ewma_batch_ns_{0};
+  /// Queries shed (queue-full or deadline) since the last health() probe.
+  mutable std::atomic<std::uint64_t> shed_since_health_{0};
 
   // Legacy-mode state.
   util::Mutex mu_;

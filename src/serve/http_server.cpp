@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -119,16 +121,27 @@ const char* status_text(int status) {
   }
 }
 
+/// `extra_headers` holds zero or more fully formed "Name: value\r\n" lines
+/// (Retry-After on shed responses).
 std::string make_response(int status, const std::string& content_type,
-                          const std::string& body, bool keep_alive) {
+                          const std::string& body, bool keep_alive,
+                          const std::string& extra_headers = std::string()) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     status_text(status) + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += extra_headers;
   out += keep_alive ? "Connection: keep-alive\r\n\r\n"
                     : "Connection: close\r\n\r\n";
   out += body;
   return out;
+}
+
+/// RFC-style Retry-After value: whole seconds, at least 1.
+std::string retry_after_header(double retry_after_s) {
+  const double secs = std::ceil(std::max(retry_after_s, 1.0));
+  return "Retry-After: " +
+         std::to_string(static_cast<long long>(secs)) + "\r\n";
 }
 
 bool iequals(const std::string& a, const char* b) {
@@ -145,6 +158,7 @@ struct HttpRequest {
   std::string method, target, body;
   bool keep_alive = true;
   std::size_t content_length = 0;
+  double deadline_s = -1.0;  ///< from x-deadline-ms; < 0 = none given
 };
 
 enum class ParseStatus {
@@ -212,6 +226,17 @@ ParseStatus parse_head(const std::string& buf, HttpRequest& req,
         req.keep_alive = false;
       else if (iequals(value, "keep-alive"))
         req.keep_alive = true;
+    } else if (iequals(name, "x-deadline-ms")) {
+      // Per-request deadline budget. A malformed or non-positive value is a
+      // client bug — reject it rather than silently serving without the
+      // deadline the client thought it set.
+      char* parse_end = nullptr;
+      const double ms =
+          value.empty() ? 0.0 : std::strtod(value.c_str(), &parse_end);
+      if (parse_end != value.c_str() + value.size() || !std::isfinite(ms) ||
+          ms <= 0.0)
+        return ParseStatus::kBadRequest;
+      req.deadline_s = ms * 1e-3;
     }
   }
   body_offset = head_end + 4;
@@ -241,9 +266,31 @@ void HttpServer::stop() {
   {
     util::MutexLock lock(mu_);
     if (stop_) return;
+  }
+  // Phase 1 — graceful drain: refuse new connections (listener closed,
+  // /healthz flips to "draining"), then give the handlers up to
+  // drain_deadline_s to answer what was already accepted. Handlers close
+  // each connection at its next request boundary once draining_ is set.
+  draining_.store(true, std::memory_order_seq_cst);
+  listener_.close();
+  util::WallTimer drain_timer;
+  while (drain_timer.elapsed_s() < opt_.drain_deadline_s) {
+    bool queue_empty;
+    {
+      util::MutexLock lock(mu_);
+      queue_empty = conn_queue_.empty();
+    }
+    if (queue_empty && active_conns_.load(std::memory_order_acquire) == 0)
+      break;
+    cv_.notify_all();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Phase 2 — hard stop: whatever didn't drain in time is dropped.
+  {
+    util::MutexLock lock(mu_);
+    if (stop_) return;  // lost a race with a concurrent stop(); it joins
     stop_ = true;
   }
-  listener_.close();
   cv_.notify_all();
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& h : handlers_) {
@@ -257,6 +304,8 @@ void HttpServer::acceptor_loop() {
     util::TcpSocket conn = listener_.accept();
     if (!conn.valid()) return;  // listener closed => shutting down
     conn.set_nodelay(true);
+    if (opt_.send_timeout_s > 0)
+      conn.set_send_timeout(opt_.send_timeout_s);
     {
       util::MutexLock lock(mu_);
       if (stop_) return;
@@ -275,8 +324,12 @@ void HttpServer::handler_loop() {
       if (stop_) return;
       conn = std::move(conn_queue_.front());
       conn_queue_.pop_front();
+      // Claimed while still holding mu_, so stop()'s drain loop observes
+      // either a non-empty queue or a non-zero active count — never a gap.
+      active_conns_.fetch_add(1, std::memory_order_acq_rel);
     }
     handle_connection(conn);
+    active_conns_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
@@ -327,7 +380,9 @@ void HttpServer::handle_connection(util::TcpSocket& conn) {
 
       util::WallTimer timer;
       int status = 200;
-      std::string body = route(req.method, req.target, req.body, status);
+      std::string extra_headers;
+      std::string body = route(req.method, req.target, req.body,
+                               req.deadline_s, status, extra_headers);
       metrics_.http_requests_total.fetch_add(1, std::memory_order_relaxed);
       if (status >= 400)
         metrics_.http_errors_total.fetch_add(1, std::memory_order_relaxed);
@@ -335,7 +390,8 @@ void HttpServer::handle_connection(util::TcpSocket& conn) {
 
       const bool is_json = !body.empty() && (body[0] == '{' || body[0] == '[');
       const char* content_type = is_json ? "application/json" : "text/plain";
-      outbuf += make_response(status, content_type, body, req.keep_alive);
+      outbuf += make_response(status, content_type, body, req.keep_alive,
+                              extra_headers);
       if (!req.keep_alive) {
         close_after_write = true;
         break;
@@ -343,6 +399,9 @@ void HttpServer::handle_connection(util::TcpSocket& conn) {
     }
     if (!outbuf.empty() && !conn.write_all(outbuf)) return;
     if (close_after_write) return;
+    // Draining: every complete buffered request was just answered — close
+    // at this request boundary so stop() can finish.
+    if (draining_.load(std::memory_order_relaxed)) return;
 
     // Poll in short slices so a stop() is honored promptly even while a
     // keep-alive peer is idle.
@@ -367,15 +426,32 @@ void HttpServer::handle_connection(util::TcpSocket& conn) {
 
 std::string HttpServer::route(const std::string& method,
                               const std::string& target,
-                              const std::string& body, int& status) {
+                              const std::string& body, double deadline_s,
+                              int& status, std::string& extra_headers) {
   if (target == "/healthz" || target == "/metrics" ||
       target == "/v1/models") {
     if (method != "GET") {  // read-only endpoints: mutating verbs are 405
       status = 405;
       return json_error("GET required for " + target);
     }
-    if (target == "/healthz") return "ok\n";
-    if (target == "/metrics") return metrics_.render();
+    if (target == "/healthz") {
+      const HealthState st = draining_.load(std::memory_order_relaxed)
+                                 ? HealthState::kDraining
+                                 : batcher_.health();
+      if (st == HealthState::kDraining) status = 503;
+      return std::string(to_string(st)) + "\n";
+    }
+    if (target == "/metrics") {
+      std::string out = metrics_.render();
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "# TYPE sgm_registry_quarantined_total counter\n"
+                    "sgm_registry_quarantined_total %llu\n",
+                    static_cast<unsigned long long>(
+                        registry_.stats().quarantined));
+      out += line;
+      return out;
+    }
     std::string out = "[";
     bool first = true;
     for (const ModelInfo& info : registry_.list()) {
@@ -404,7 +480,7 @@ std::string HttpServer::route(const std::string& method,
     }
     try {
       InferenceBatcher::Response resp =
-          batcher_.query(scenario, std::move(x));
+          batcher_.query(scenario, std::move(x), deadline_s);
       std::string out = "{\"scenario\": \"" + json_escape(scenario) +
                         "\", \"version\": " + std::to_string(resp.version) +
                         ", \"y\": [";
@@ -420,8 +496,13 @@ std::string HttpServer::route(const std::string& method,
     } catch (const std::invalid_argument& e) {
       status = 400;
       return json_error(e.what());
+    } catch (const DeadlineExceededError& e) {
+      status = 503;  // shed up front: the answer would arrive too late
+      extra_headers = retry_after_header(e.retry_after_s());
+      return json_error(e.what());
     } catch (const QueueFullError& e) {
       status = 503;  // backpressure: bounded queue full, try again later
+      extra_headers = retry_after_header(1.0);
       return json_error(e.what());
     } catch (const std::exception& e) {
       status = 503;

@@ -14,20 +14,35 @@
 // requests coalesce into one write. Content-Length is validated (digits
 // only, <= max_body_bytes) before any arithmetic; GET-only endpoints
 // return 405 for other verbs; HTTP/1.0 peers default to Connection: close;
-// everything emitted inside a JSON string is escaped. A full batcher queue
-// surfaces as 503 + sgm_serve_rejected_total (backpressure, not collapse).
+// everything emitted inside a JSON string is escaped.
+//
+// Degradation contract (the failure model, docs/ARCHITECTURE.md):
+//  * a full batcher queue surfaces as 503 + sgm_serve_rejected_total and a
+//    Retry-After hint (backpressure, not collapse);
+//  * a query whose `x-deadline-ms` request header (or the batcher's default
+//    deadline) is smaller than the estimated queue wait is shed up front:
+//    503 + Retry-After + sgm_serve_deadline_shed_total;
+//  * /healthz reports the batcher's health state — "ok" / "degraded" (both
+//    200, degraded means load was shed recently or the queue is deep) or
+//    "draining" (503, stop() in progress) — so load balancers can steer
+//    away before hard failures;
+//  * stop() drains gracefully: accepted connections get their buffered
+//    requests answered (bounded by drain_deadline_s) before the hard stop.
 //
 // Routes:
 //   POST /v1/query   {"scenario": "<name>", "x": [..]}
 //                 -> {"scenario": "...", "version": N, "y": [..]}
+//                    optional x-deadline-ms header = per-request budget
 //   GET  /v1/models  JSON array of {scenario, version, resident, pinned}
-//   GET  /healthz    "ok"
-//   GET  /metrics    Prometheus text exposition (ServeMetrics::render)
+//   GET  /healthz    "ok" | "degraded" (200) or "draining" (503)
+//   GET  /metrics    Prometheus text exposition (ServeMetrics::render +
+//                    sgm_registry_quarantined_total from the registry)
 //
 // Doubles in responses are printed with %.17g, so a served prediction
 // round-trips the text layer bit-exactly (same contract as the telemetry
 // CSVs).
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -46,6 +61,12 @@ struct HttpServerOptions {
   std::uint16_t port = 0;        ///< 0 = ephemeral (read back via port())
   std::size_t num_workers = 4;   ///< connection handler threads
   double recv_timeout_s = 10.0;  ///< idle keep-alive cutoff
+  /// Per-connection write timeout (SO_SNDTIMEO): a peer that stops reading
+  /// stalls its own connection, not a handler thread forever. 0 disables.
+  double send_timeout_s = 10.0;
+  /// stop() serves already-accepted connections for at most this long
+  /// before hard-stopping the handlers.
+  double drain_deadline_s = 2.0;
   std::size_t max_body_bytes = 1 << 20;
 };
 
@@ -61,8 +82,11 @@ class HttpServer {
 
   std::uint16_t port() const { return listener_.port(); }
 
-  /// Stops accepting, wakes the handlers and joins all threads. In-flight
-  /// requests finish; idle keep-alive connections are dropped. Idempotent.
+  /// Graceful stop: refuses new connections immediately (/healthz flips to
+  /// "draining"), answers the requests already accepted — bounded by
+  /// opt_.drain_deadline_s — then hard-stops and joins all threads. Idle
+  /// keep-alive connections are dropped at their next request boundary.
+  /// Idempotent.
   void stop();
 
  private:
@@ -74,8 +98,12 @@ class HttpServer {
   /// pipelined requests (many per read) are all served.
   void handle_connection(util::TcpSocket& conn);
 
+  /// `deadline_s` is the request's deadline budget (< 0 = none given).
+  /// `extra_headers` receives fully formed "Name: value\r\n" lines to splice
+  /// into the response head (Retry-After on shed responses).
   std::string route(const std::string& method, const std::string& target,
-                    const std::string& body, int& status);
+                    const std::string& body, double deadline_s, int& status,
+                    std::string& extra_headers);
 
   ModelRegistry& registry_;
   InferenceBatcher& batcher_;
@@ -83,6 +111,12 @@ class HttpServer {
   HttpServerOptions opt_;
 
   util::TcpListener listener_;
+  /// stop() entered its drain phase: handlers close connections at the next
+  /// request boundary, /healthz reports "draining".
+  std::atomic<bool> draining_{false};
+  /// Connections currently inside handle_connection (incremented under mu_
+  /// before the queue pop is published, so the drain loop can't miss one).
+  std::atomic<std::uint32_t> active_conns_{0};
   util::Mutex mu_;
   util::CondVar cv_;
   std::deque<util::TcpSocket> conn_queue_ SGM_GUARDED_BY(mu_);

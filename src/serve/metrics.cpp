@@ -44,6 +44,8 @@ std::string ServeMetrics::render() const {
                  query_errors_total.load(std::memory_order_relaxed));
   append_counter(out, "sgm_serve_rejected_total",
                  rejected_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_serve_deadline_shed_total",
+                 deadline_shed_total.load(std::memory_order_relaxed));
   append_counter(out, "sgm_serve_batches_total",
                  batches_total.load(std::memory_order_relaxed));
   append_counter(out, "sgm_serve_batched_queries_total",

@@ -28,6 +28,10 @@ struct ServeMetrics {
   /// Backpressure: queries shed immediately because the bounded request
   /// ring / response-slot pool was full (HTTP surfaces these as 503).
   std::atomic<std::uint64_t> rejected_total{0};
+  /// Deadline shedding: queries refused up front because the estimated
+  /// queue wait already exceeded their deadline budget (HTTP surfaces
+  /// these as 503 + Retry-After).
+  std::atomic<std::uint64_t> deadline_shed_total{0};
   std::atomic<std::uint64_t> batches_total{0};         ///< coalesced forwards
   std::atomic<std::uint64_t> batched_queries_total{0}; ///< sum of batch sizes
   std::atomic<std::uint64_t> full_flushes_total{0};    ///< flushed at B

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
 
 namespace sgm::serve {
 
@@ -26,8 +28,17 @@ void check_scenario_name(const std::string& scenario) {
                 scenario, "' may not start with '.'");
 }
 
-/// Parses "v<N>.ckpt" -> N; 0 when the name does not match.
-std::uint64_t parse_version_filename(const std::string& name) {
+constexpr const char* kQuarantineSuffix = ".quarantined";
+
+/// Parses "v<N>.ckpt" -> N; 0 when the name does not match. With
+/// include_quarantined, "v<N>.ckpt.quarantined" parses too — sidelined
+/// versions stay reserved so publish never reuses their number.
+std::uint64_t parse_version_filename(std::string name,
+                                     bool include_quarantined = false) {
+  const std::size_t qlen = std::string(kQuarantineSuffix).size();
+  if (include_quarantined && name.size() > qlen &&
+      name.compare(name.size() - qlen, qlen, kQuarantineSuffix) == 0)
+    name.resize(name.size() - qlen);
   if (name.size() < 7 || name[0] != 'v' ||
       name.compare(name.size() - 5, 5, ".ckpt") != 0)
     return 0;
@@ -50,6 +61,14 @@ ModelRegistry::ModelRegistry(std::string root, RegistryOptions opt)
   if (ec)
     throw std::runtime_error("ModelRegistry: cannot create root '" + root_ +
                              "': " + ec.message());
+  // Sweep residue of publishers killed mid-write: a stale `*.tmp` can
+  // never be loaded (it doesn't parse as v<N>.ckpt) but wastes disk and
+  // would shadow the next publish's temp name.
+  util::remove_stale_temp_files(root_);
+  for (const auto& dir : fs::directory_iterator(root_, ec)) {
+    if (dir.is_directory())
+      util::remove_stale_temp_files(dir.path().string());
+  }
 }
 
 std::string ModelRegistry::scenario_dir(const std::string& scenario) const {
@@ -62,13 +81,14 @@ std::string ModelRegistry::checkpoint_path(const std::string& scenario,
 }
 
 std::uint64_t ModelRegistry::latest_version_on_disk(
-    const std::string& scenario) const {
+    const std::string& scenario, bool include_quarantined) const {
   std::error_code ec;
   std::uint64_t latest = 0;
   for (const auto& entry :
        fs::directory_iterator(scenario_dir(scenario), ec)) {
-    latest = std::max(latest,
-                      parse_version_filename(entry.path().filename().string()));
+    latest = std::max(
+        latest, parse_version_filename(entry.path().filename().string(),
+                                       include_quarantined));
   }
   return latest;  // 0 when the directory is missing or holds no checkpoints
 }
@@ -88,6 +108,26 @@ ServedModelPtr ModelRegistry::load_version(const std::string& scenario,
   served->model = std::move(loaded.model);
   ++stats_.loads;
   return served;
+}
+
+ServedModelPtr ModelRegistry::load_latest_intact(const std::string& scenario) {
+  for (;;) {
+    const std::uint64_t version = latest_version_on_disk(scenario);
+    if (version == 0)
+      throw std::out_of_range("ModelRegistry: no published checkpoint for '" +
+                              scenario + "'");
+    try {
+      return load_version(scenario, version);
+    } catch (const std::out_of_range&) {
+      throw;  // not a file problem; don't quarantine
+    } catch (const std::exception&) {
+      // Checksum/truncation/header failure: sideline the file and fall
+      // back to the next-latest version. Each pass removes one candidate,
+      // so this terminates.
+      util::quarantine_file(checkpoint_path(scenario, version));
+      ++stats_.quarantined;
+    }
+  }
 }
 
 void ModelRegistry::evict_if_over_capacity() {
@@ -116,7 +156,10 @@ std::uint64_t ModelRegistry::publish(const std::string& scenario,
     throw std::runtime_error("ModelRegistry: cannot create '" +
                              scenario_dir(scenario) + "': " + ec.message());
 
-  const std::uint64_t version = latest_version_on_disk(scenario) + 1;
+  // Allocate past quarantined versions too: reusing a sidelined number
+  // would let `vN.ckpt.quarantined` shadow a fresh, intact vN.
+  const std::uint64_t version =
+      latest_version_on_disk(scenario, /*include_quarantined=*/true) + 1;
   // Version monotonicity: the version we are about to write must strictly
   // exceed whatever is resident — a violation means a checkpoint file was
   // deleted out from under us or the resident entry is corrupt.
@@ -129,18 +172,14 @@ std::uint64_t ModelRegistry::publish(const std::string& scenario,
   meta.scenario = scenario;
   meta.model_version = version;
 
-  // Atomic publish: full write to a temp name in the same directory, then
-  // rename over the final name. Readers either see the old directory state
-  // or the complete new checkpoint, never a partial file.
-  const std::string final_path = checkpoint_path(scenario, version);
-  const std::string tmp_path = final_path + ".tmp";
-  nn::save_model_file(net, tmp_path, meta);
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    throw std::runtime_error("ModelRegistry: rename to '" + final_path +
-                             "' failed");
-  }
+  // Crash-safe publish: save_model_file writes through
+  // util::write_file_durable (temp + fsync + rename + dir fsync), so
+  // readers see either the old directory state or the complete new
+  // checkpoint — never a partial file — and the publish survives power
+  // loss. The failpoints bracket the protocol for the chaos tests.
+  SGM_FAILPOINT("registry.publish.before_write");
+  nn::save_model_file(net, checkpoint_path(scenario, version), meta);
+  SGM_FAILPOINT("registry.publish.after_write");
   ++stats_.publishes;
 
   // Hot-swap: a resident entry flips to the new version immediately (the
@@ -160,13 +199,9 @@ ServedModelPtr ModelRegistry::acquire(const std::string& scenario) {
     it->second.last_used = ++tick_;
     return it->second.model;
   }
-  const std::uint64_t version = latest_version_on_disk(scenario);
-  if (version == 0)
-    throw std::out_of_range("ModelRegistry: no published checkpoint for '" +
-                            scenario + "'");
-  ++stats_.misses;
   Entry entry;
-  entry.model = load_version(scenario, version);
+  entry.model = load_latest_intact(scenario);
+  ++stats_.misses;
   entry.last_used = ++tick_;
   auto ptr = entry.model;
   cache_[scenario] = std::move(entry);
@@ -179,13 +214,9 @@ void ModelRegistry::pin(const std::string& scenario) {
   util::MutexLock lock(mu_);
   auto it = cache_.find(scenario);
   if (it == cache_.end()) {
-    const std::uint64_t version = latest_version_on_disk(scenario);
-    if (version == 0)
-      throw std::out_of_range("ModelRegistry: no published checkpoint for '" +
-                              scenario + "'");
-    ++stats_.misses;
     Entry entry;
-    entry.model = load_version(scenario, version);
+    entry.model = load_latest_intact(scenario);
+    ++stats_.misses;
     entry.last_used = ++tick_;
     it = cache_.emplace(scenario, std::move(entry)).first;
   }

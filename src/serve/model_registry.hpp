@@ -6,10 +6,21 @@
 //     <root>/<scenario>/v<N>.ckpt        (nn/serialize v2 binary: header
 //                                         with scenario name, MlpConfig,
 //                                         version N, payload checksum)
-// via a temp-file + rename, so a concurrent loader can never observe a
-// half-written checkpoint and a crashed publisher leaves at most a stale
-// temp file. Versions are monotonically increasing per scenario; old
-// versions stay on disk (they are the rollback story).
+// through util::write_file_durable (temp file + fsync file + atomic rename
+// + fsync directory), so a loader can never observe a half-written
+// checkpoint, a completed publish survives power loss, and a crashed
+// publisher leaves at most a stale temp file (swept on registry open).
+// Versions are monotonically increasing per scenario; old versions stay on
+// disk (they are the rollback story).
+//
+// Corruption containment: a checkpoint that fails its checksum (or any
+// header/parse check) at load time is quarantined — renamed to
+// `v<N>.ckpt.quarantined` — and the loader falls back to the next-latest
+// intact version, so one bad file degrades that scenario by one version
+// instead of failing the registry. Quarantined versions still count for
+// version allocation (publish never reuses a quarantined number); the
+// count is surfaced as RegistryStats::quarantined and, via the HTTP
+// front end, the sgm_registry_quarantined_total metric.
 //
 // In memory, a load-on-demand LRU cache holds the resident models:
 //  * acquire() returns a shared_ptr<const ServedModel> — an immutable
@@ -62,6 +73,7 @@ struct RegistryStats {
   std::uint64_t loads = 0;       ///< checkpoint files read (misses + swaps)
   std::uint64_t evictions = 0;
   std::uint64_t publishes = 0;
+  std::uint64_t quarantined = 0;  ///< corrupt checkpoints sidelined at load
 };
 
 class ModelRegistry {
@@ -112,10 +124,19 @@ class ModelRegistry {
                               std::uint64_t version) const;
   // Helpers that touch cache_/stats_ (or are only called from sections that
   // do) require mu_; the annotations make the discipline checkable.
-  std::uint64_t latest_version_on_disk(const std::string& scenario) const
+  /// Latest version present on disk; with include_quarantined, sidelined
+  /// `*.quarantined` files count too (version allocation must never reuse
+  /// a quarantined number, but loads must skip them).
+  std::uint64_t latest_version_on_disk(const std::string& scenario,
+                                       bool include_quarantined = false) const
       SGM_REQUIRES(mu_);
   ServedModelPtr load_version(const std::string& scenario,
                               std::uint64_t version) SGM_REQUIRES(mu_);
+  /// Loads the newest version that passes its checksum, quarantining every
+  /// corrupt candidate it skips. Throws std::out_of_range when no intact
+  /// version remains.
+  ServedModelPtr load_latest_intact(const std::string& scenario)
+      SGM_REQUIRES(mu_);
   void evict_if_over_capacity() SGM_REQUIRES(mu_);
   void audit_locked() const SGM_REQUIRES(mu_);
 

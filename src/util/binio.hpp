@@ -1,0 +1,86 @@
+#pragma once
+// Explicit little-endian binary encoding, shared by every on-disk format
+// in the tree (nn/serialize.cpp model checkpoints, pinn train checkpoints).
+// Integers are decomposed byte-by-byte and doubles go through their
+// IEEE-754 bit pattern, so files are bit-identical across hosts regardless
+// of endianness; FNV-1a64 is the common checksum.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sgm::util::binio {
+
+inline std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline void put_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+inline void put_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+inline void put_f64(std::string& b, double v) {
+  put_u64(b, std::bit_cast<std::uint64_t>(v));
+}
+inline void put_str(std::string& b, const std::string& s) {
+  put_u32(b, static_cast<std::uint32_t>(s.size()));
+  b.append(s);
+}
+
+/// Bounds-checked sequential reader over an in-memory byte buffer; every
+/// under-run throws instead of reading past the end.
+class ByteReader {
+ public:
+  ByteReader(const char* p, std::size_t n) : p_(p), end_(p + n) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p_[i]))
+           << (8 * i);
+    p_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p_[i]))
+           << (8 * i);
+    p_ += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(p_, n);
+    p_ += n;
+    return s;
+  }
+  std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+ private:
+  void need(std::size_t n) {
+    if (remaining() < n)
+      throw std::runtime_error("checkpoint: truncated body");
+  }
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace sgm::util::binio

@@ -24,6 +24,8 @@ CsvWriter::CsvWriter(const std::string& path,
     out_ << header[i];
   }
   out_ << '\n';
+  out_.flush();
+  check_stream("writing header to");
 }
 
 void CsvWriter::row(const std::vector<double>& values) {
@@ -35,6 +37,7 @@ void CsvWriter::row(const std::vector<double>& values) {
   }
   out_ << '\n';
   out_.flush();
+  check_stream("writing row to");
 }
 
 void CsvWriter::row_strings(const std::vector<std::string>& cells) {
@@ -46,6 +49,21 @@ void CsvWriter::row_strings(const std::vector<std::string>& cells) {
   }
   out_ << '\n';
   out_.flush();
+  check_stream("writing row to");
+}
+
+void CsvWriter::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  check_stream("flushing");
+  out_.close();
+  check_stream("closing");
+}
+
+void CsvWriter::check_stream(const char* when) {
+  if (!out_)
+    throw std::runtime_error(std::string("CsvWriter: error ") + when + " " +
+                             path_);
 }
 
 }  // namespace sgm::util

@@ -9,22 +9,36 @@ namespace sgm::util {
 
 /// Writes rows of doubles/strings under a fixed header. Values are emitted
 /// with enough precision to round-trip doubles.
+///
+/// Write errors are not silent: every row checks the stream after its flush
+/// and throws std::runtime_error on failure (disk full, deleted directory),
+/// so a run aborts at the first lost row instead of finishing with
+/// truncated telemetry. close() gives callers a throwing final flush; the
+/// destructor closes quietly (never throws).
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row. Throws
-  /// std::runtime_error if the file cannot be opened.
+  /// std::runtime_error if the file cannot be opened or the header write
+  /// fails.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
   /// Emits one row; size must match the header. Flushes on every row so
-  /// partial runs still leave usable telemetry.
+  /// partial runs still leave usable telemetry; throws std::runtime_error
+  /// when the write or flush fails.
   void row(const std::vector<double>& values);
 
   /// Mixed row of pre-formatted cells.
   void row_strings(const std::vector<std::string>& cells);
 
+  /// Flushes and closes the file, throwing on failure. Idempotent; rows
+  /// after close() throw.
+  void close();
+
   const std::string& path() const { return path_; }
 
  private:
+  void check_stream(const char* when);
+
   std::string path_;
   std::ofstream out_;
   std::size_t columns_;

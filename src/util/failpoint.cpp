@@ -1,0 +1,241 @@
+#include "util/failpoint.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace sgm::util {
+
+namespace {
+
+// Parses "once" | "always" | "prob:P" | "after:N" into mode + params.
+// Throws std::invalid_argument with the offending spec on malformed input.
+void parse_spec(const std::string& spec, Failpoint::Mode& mode, double& prob,
+                std::uint64_t& passes) {
+  prob = 0.0;
+  passes = 0;
+  if (spec == "once") {
+    mode = Failpoint::Mode::kOnce;
+    return;
+  }
+  if (spec == "always") {
+    mode = Failpoint::Mode::kAlways;
+    return;
+  }
+  if (spec.rfind("prob:", 0) == 0) {
+    const std::string arg = spec.substr(5);
+    std::size_t used = 0;
+    double p = -1.0;
+    try {
+      p = std::stod(arg, &used);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("failpoint: bad spec '" + spec + "'");
+    }
+    if (used != arg.size() || !(p >= 0.0 && p <= 1.0))
+      throw std::invalid_argument("failpoint: bad spec '" + spec +
+                                  "' (want prob:P with P in [0,1])");
+    mode = Failpoint::Mode::kProb;
+    prob = p;
+    return;
+  }
+  if (spec.rfind("after:", 0) == 0) {
+    const std::string arg = spec.substr(6);
+    if (arg.empty() ||
+        arg.find_first_not_of("0123456789") != std::string::npos)
+      throw std::invalid_argument("failpoint: bad spec '" + spec +
+                                  "' (want after:N with N >= 0)");
+    mode = Failpoint::Mode::kAfter;
+    passes = std::strtoull(arg.c_str(), nullptr, 10);
+    return;
+  }
+  throw std::invalid_argument(
+      "failpoint: unknown spec '" + spec +
+      "' (want once | always | prob:P | after:N)");
+}
+
+}  // namespace
+
+Failpoint& Failpoint::site(const char* name) {
+  FailpointRegistry& reg = FailpointRegistry::instance();
+  MutexLock lock(reg.mu_);
+  return reg.site_locked(name);
+}
+
+bool Failpoint::fire_slow() {
+  FailpointRegistry& reg = FailpointRegistry::instance();
+  MutexLock lock(reg.mu_);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  bool fire = false;
+  switch (mode_) {
+    case Mode::kOff:
+      break;  // lost a disarm race; stay quiet
+    case Mode::kOnce:
+      fire = true;
+      mode_ = Mode::kOff;
+      armed_.store(false, std::memory_order_relaxed);
+      break;
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kProb:
+      fire = reg.rng_.uniform() < prob_;
+      break;
+    case Mode::kAfter:
+      if (remaining_passes_ == 0) {
+        fire = true;
+        mode_ = Mode::kOff;
+        armed_.store(false, std::memory_order_relaxed);
+      } else {
+        --remaining_passes_;
+      }
+      break;
+  }
+  if (fire) fires_.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+FailpointRegistry& FailpointRegistry::instance() {
+  static FailpointRegistry* reg = new FailpointRegistry();  // never destroyed
+  return *reg;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  // Object not yet shared: members are safe to touch without mu_ here.
+  if (const char* seed = std::getenv("SGM_FAILPOINT_SEED"))
+    rng_ = Rng(std::strtoull(seed, nullptr, 10));
+  if (const char* specs = std::getenv("SGM_FAILPOINTS")) {
+    std::string list(specs);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t comma = list.find(',', start);
+      if (comma == std::string::npos) comma = list.size();
+      const std::string entry = list.substr(start, comma - start);
+      start = comma + 1;
+      if (entry.empty()) continue;
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0)
+        throw std::invalid_argument(
+            "SGM_FAILPOINTS: bad entry '" + entry + "' (want name=spec)");
+      // Validate the spec now so a typo fails at startup, not mid-run.
+      Failpoint::Mode mode;
+      double prob;
+      std::uint64_t passes;
+      parse_spec(entry.substr(eq + 1), mode, prob, passes);
+      pending_.emplace_back(entry.substr(0, eq), entry.substr(eq + 1));
+    }
+  }
+}
+
+Failpoint& FailpointRegistry::site_locked(const std::string& name) {
+  for (Failpoint* fp : sites_)
+    if (fp->name_ == name) return *fp;
+  auto* fp = new Failpoint(name);  // leaked by design: cached in statics
+  sites_.push_back(fp);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->first == name) {
+      apply_spec(*fp, it->second);
+      pending_.erase(it);
+      break;
+    }
+  }
+  return *fp;
+}
+
+void FailpointRegistry::apply_spec(Failpoint& fp, const std::string& spec) {
+  parse_spec(spec, fp.mode_, fp.prob_, fp.remaining_passes_);
+  fp.armed_.store(fp.mode_ != Failpoint::Mode::kOff,
+                  std::memory_order_relaxed);
+}
+
+void FailpointRegistry::arm(const std::string& name,
+                            const std::string& spec) {
+  // Validate up front so a bad spec never half-arms a pending entry.
+  Failpoint::Mode mode;
+  double prob;
+  std::uint64_t passes;
+  parse_spec(spec, mode, prob, passes);
+
+  MutexLock lock(mu_);
+  for (Failpoint* fp : sites_) {
+    if (fp->name_ == name) {
+      apply_spec(*fp, spec);
+      return;
+    }
+  }
+  for (auto& entry : pending_) {
+    if (entry.first == name) {
+      entry.second = spec;
+      return;
+    }
+  }
+  pending_.emplace_back(name, spec);
+}
+
+void FailpointRegistry::disarm(const std::string& name) {
+  MutexLock lock(mu_);
+  for (Failpoint* fp : sites_) {
+    if (fp->name_ == name) {
+      fp->mode_ = Failpoint::Mode::kOff;
+      fp->armed_.store(false, std::memory_order_relaxed);
+    }
+  }
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->first == name) {
+      pending_.erase(it);
+      break;
+    }
+  }
+}
+
+void FailpointRegistry::disarm_all() {
+  MutexLock lock(mu_);
+  for (Failpoint* fp : sites_) {
+    fp->mode_ = Failpoint::Mode::kOff;
+    fp->armed_.store(false, std::memory_order_relaxed);
+  }
+  pending_.clear();
+}
+
+void FailpointRegistry::set_seed(std::uint64_t seed) {
+  MutexLock lock(mu_);
+  rng_ = Rng(seed);
+}
+
+void FailpointRegistry::arm_from_spec_list(const std::string& list) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument(
+          "failpoint: bad entry '" + entry + "' (want name=spec)");
+    arm(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+}
+
+std::vector<FailpointInfo> FailpointRegistry::list() const {
+  MutexLock lock(mu_);
+  std::vector<FailpointInfo> out;
+  out.reserve(sites_.size());
+  for (const Failpoint* fp : sites_) {
+    FailpointInfo info;
+    info.name = fp->name_;
+    info.armed = fp->armed_.load(std::memory_order_relaxed);
+    info.hits = fp->hits();
+    info.fires = fp->fires();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::uint64_t FailpointRegistry::total_fires() const {
+  MutexLock lock(mu_);
+  std::uint64_t total = 0;
+  for (const Failpoint* fp : sites_) total += fp->fires();
+  return total;
+}
+
+}  // namespace sgm::util

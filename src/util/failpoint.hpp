@@ -1,0 +1,169 @@
+#pragma once
+// Deterministic failpoint injection — named fault sites compiled into
+// production code paths, inert unless armed.
+//
+// A failpoint is a named site; code declares one with either macro:
+//
+//     SGM_FAILPOINT("registry.publish.before_write");   // throws when fired
+//     if (SGM_FAILPOINT_HIT("socket.short_send")) n = 1; // custom fault
+//
+// Sites register themselves in a process-wide registry on first execution
+// (the macro caches the site in a function-local static, so each call site
+// resolves its name exactly once). An unarmed site costs one relaxed atomic
+// load — cheap enough to leave in release builds and on serving hot paths.
+//
+// Arming, via environment or programmatically:
+//
+//     SGM_FAILPOINTS="durable_write.torn=once,trainer.diverge=after:100"
+//     FailpointRegistry::instance().arm("durable_write.torn", "prob:0.01");
+//
+// Spec grammar (one action per site):
+//     once      fire on the next evaluation, then disarm
+//     always    fire on every evaluation
+//     prob:P    fire each evaluation with probability P in [0, 1]
+//     after:N   pass N evaluations, fire on the N+1-th, then disarm
+//
+// Determinism contract: prob: draws route through one util::Rng owned by
+// the registry (seeded from SGM_FAILPOINT_SEED or set_seed()), never
+// wall-clock or std::random_device — a chaos run replays exactly given the
+// same seed and interleaving. scripts/lint_determinism.py enforces this.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+#include "util/rng.hpp"
+
+namespace sgm::util {
+
+/// Thrown by SGM_FAILPOINT(name) when the site fires — simulates a crash
+/// at that point (callers are expected to NOT catch it except in tests).
+class FailpointTriggered : public std::runtime_error {
+ public:
+  explicit FailpointTriggered(const std::string& site)
+      : std::runtime_error("failpoint fired: " + site), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// One named injection site. Construction goes through
+/// FailpointRegistry (Failpoint::site); sites live for the process
+/// lifetime and are never destroyed, so cached references stay valid.
+class Failpoint {
+ public:
+  enum class Mode { kOff, kOnce, kAlways, kProb, kAfter };
+
+  /// Get-or-create the site with this name (process-wide registry).
+  static Failpoint& site(const char* name);
+
+  /// True when the site is armed and its spec says "fire now". The
+  /// unarmed fast path is a single relaxed atomic load.
+  bool should_fire() {
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    return fire_slow();
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Evaluations while armed / times fired (test observability).
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t fires() const {
+    return fires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class FailpointRegistry;
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  bool fire_slow();
+
+  std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fires_{0};
+  // Spec state, guarded by the registry mutex (armed_ is the fast-path
+  // mirror: true iff mode_ != kOff).
+  Mode mode_ = Mode::kOff;
+  double prob_ = 0.0;
+  std::uint64_t remaining_passes_ = 0;
+};
+
+/// Snapshot of one site for listings/tests.
+struct FailpointInfo {
+  std::string name;
+  bool armed = false;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Process-wide failpoint table. Thread-safe; sites are created lazily by
+/// the macros and armed by name (arming a name before its site first
+/// executes is fine — the spec is applied when the site registers).
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& instance();
+
+  /// Arm `name` with a spec ("once" | "always" | "prob:P" | "after:N").
+  /// Throws std::invalid_argument on a malformed spec.
+  void arm(const std::string& name, const std::string& spec);
+
+  void disarm(const std::string& name);
+  void disarm_all();
+
+  /// Reseed the prob: draw stream (chaos replay). Also settable up front
+  /// via the SGM_FAILPOINT_SEED environment variable.
+  void set_seed(std::uint64_t seed);
+
+  /// Parse an SGM_FAILPOINTS-style list ("a=once,b=prob:0.5") and arm
+  /// every entry. Throws std::invalid_argument on malformed input.
+  void arm_from_spec_list(const std::string& list);
+
+  std::vector<FailpointInfo> list() const;
+
+  /// Total fires across all sites (quick "did anything trip" probe).
+  std::uint64_t total_fires() const;
+
+ private:
+  friend class Failpoint;
+  FailpointRegistry();
+
+  Failpoint& site_locked(const std::string& name) SGM_REQUIRES(mu_);
+  static void apply_spec(Failpoint& fp, const std::string& spec);
+
+  mutable Mutex mu_;
+  // Sites are heap-allocated and intentionally leaked at process exit:
+  // macro call sites hold references from static initializers, and
+  // destruction order across TUs is unknowable.
+  std::vector<Failpoint*> sites_ SGM_GUARDED_BY(mu_);
+  Rng rng_ SGM_GUARDED_BY(mu_){0x5AFE5EEDull};
+  // Specs armed before their site first executes, as (name, spec) pairs.
+  std::vector<std::pair<std::string, std::string>> pending_
+      SGM_GUARDED_BY(mu_);
+};
+
+}  // namespace sgm::util
+
+/// Evaluates to true when the named failpoint is armed and fires now.
+/// Use for custom faults (torn write, forced NaN, short send).
+#define SGM_FAILPOINT_HIT(site_name)                               \
+  ([]() -> bool {                                                  \
+    static ::sgm::util::Failpoint& sgm_fp_site =                   \
+        ::sgm::util::Failpoint::site(site_name);                   \
+    return sgm_fp_site.should_fire();                              \
+  }())
+
+/// Throws util::FailpointTriggered when the named failpoint fires —
+/// simulates a crash between two steps of a protocol.
+#define SGM_FAILPOINT(site_name)                                   \
+  do {                                                             \
+    if (SGM_FAILPOINT_HIT(site_name))                              \
+      throw ::sgm::util::FailpointTriggered(site_name);            \
+  } while (false)

@@ -1,0 +1,127 @@
+#include "util/fs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/failpoint.hpp"
+
+namespace sgm::util {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error(what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+/// Closes the fd on scope exit unless released (error paths mid-protocol).
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  int fd() const { return fd_; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
+void write_all_fd(int fd, const char* data, std::size_t n,
+                  const std::string& path) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ::ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("durable write: write failed", path);
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+std::string parent_dir(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+}  // namespace
+
+void write_file_durable(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  FdGuard owner(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                       0644));
+  const int fd = owner.fd();
+  if (fd < 0) throw_errno("durable write: cannot create", tmp);
+
+  // Torn write: persist only a prefix, as a crash mid-write would.
+  std::size_t to_write = bytes.size();
+  const bool torn = SGM_FAILPOINT_HIT("durable_write.torn");
+  if (torn) to_write /= 2;
+  write_all_fd(fd, bytes.data(), to_write, tmp);
+  if (torn) throw FailpointTriggered("durable_write.torn");
+
+  SGM_FAILPOINT("durable_write.before_fsync");
+  // fsync also surfaces deferred write errors (full disk, I/O error) that
+  // a buffered write() may not have reported.
+  if (::fsync(fd) != 0) throw_errno("durable write: fsync failed", tmp);
+  if (::close(owner.release()) != 0)
+    throw_errno("durable write: close failed", tmp);
+
+  SGM_FAILPOINT("durable_write.before_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0)
+    throw_errno("durable write: rename failed", path);
+
+  SGM_FAILPOINT("durable_write.after_rename");
+  fsync_directory(parent_dir(path));
+}
+
+void fsync_directory(const std::string& dir) {
+  FdGuard owner(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+  if (owner.fd() < 0) throw_errno("fsync_directory: cannot open", dir);
+  if (::fsync(owner.fd()) != 0)
+    throw_errno("fsync_directory: fsync failed", dir);
+}
+
+std::string quarantine_file(const std::string& path) {
+  const std::string target = path + ".quarantined";
+  if (::rename(path.c_str(), target.c_str()) != 0)
+    throw_errno("quarantine_file: rename failed", path);
+  // Make the sideline itself durable so a corrupt file can't reappear
+  // under its loadable name after a crash.
+  fsync_directory(parent_dir(path));
+  return target;
+}
+
+std::vector<std::string> remove_stale_temp_files(const std::string& dir) {
+  std::vector<std::string> removed;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      std::error_code rm_ec;
+      if (fs::remove(entry.path(), rm_ec))
+        removed.push_back(entry.path().string());
+    }
+  }
+  return removed;
+}
+
+}  // namespace sgm::util

@@ -1,0 +1,44 @@
+#pragma once
+// Crash-safe file replacement — the one durable-write path every on-disk
+// artifact (registry checkpoints, train checkpoints) goes through.
+//
+// write_file_durable's protocol survives power loss at any instant:
+//   1. write the bytes to `path + ".tmp"` in the same directory,
+//   2. fsync the temp file (data hits the platter before any rename),
+//   3. rename(temp, path) — atomic replace on POSIX,
+//   4. fsync the containing directory (the rename itself is durable).
+// A crash before (3) leaves the old `path` intact (plus a stale .tmp that
+// remove_stale_temp_files sweeps on next open); a crash after (3) leaves
+// the new file complete. There is no instant at which `path` names a
+// partial file.
+//
+// Failpoint sites (util/failpoint.hpp), used by the chaos tests to kill
+// the writer at every step of the protocol:
+//   durable_write.torn           write only half the bytes, then fail
+//   durable_write.before_fsync   crash after write, before fsync(file)
+//   durable_write.before_rename  crash after fsync, before rename
+//   durable_write.after_rename   crash after rename, before fsync(dir)
+
+#include <string>
+#include <vector>
+
+namespace sgm::util {
+
+/// Atomically + durably replaces `path` with `bytes` (protocol above).
+/// Throws std::runtime_error on any I/O failure — including short writes
+/// and errors surfaced only at fsync/close time.
+void write_file_durable(const std::string& path, const std::string& bytes);
+
+/// fsync a directory so a completed rename within it is durable.
+void fsync_directory(const std::string& dir);
+
+/// Sidelines a corrupt file as `path + ".quarantined"` (atomic rename; any
+/// previous quarantine of the same name is replaced). Returns the new
+/// path. Throws std::runtime_error when the rename fails.
+std::string quarantine_file(const std::string& path);
+
+/// Deletes `*.tmp` residue left by writers that crashed mid-protocol.
+/// Returns the paths removed (non-recursive; missing dir is a no-op).
+std::vector<std::string> remove_stale_temp_files(const std::string& dir);
+
+}  // namespace sgm::util

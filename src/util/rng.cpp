@@ -114,4 +114,18 @@ std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
 
 Rng Rng::split() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ull); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.spare_normal = spare_normal_;
+  st.has_spare = has_spare_;
+  return st;
+}
+
+void Rng::set_state(const RngState& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  spare_normal_ = st.spare_normal;
+  has_spare_ = st.has_spare;
+}
+
 }  // namespace sgm::util

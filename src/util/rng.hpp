@@ -11,6 +11,14 @@
 
 namespace sgm::util {
 
+/// Complete serializable Rng state — capturing and restoring it resumes
+/// the stream exactly (trainer snapshots / durable train checkpoints).
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double spare_normal = 0.0;
+  bool has_spare = false;
+};
+
 /// xoshiro256** — small, fast, high-quality PRNG (Blackman & Vigna).
 /// Not cryptographic; plenty for Monte-Carlo sampling and initialization.
 class Rng {
@@ -48,6 +56,10 @@ class Rng {
 
   /// Derive an independent child stream (for per-thread / per-component use).
   Rng split();
+
+  /// Snapshot / restore the full generator state (byte-exact resume).
+  RngState state() const;
+  void set_state(const RngState& st);
 
  private:
   std::uint64_t s_[4];

@@ -13,12 +13,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 namespace sgm::util {
 
 namespace {
 std::runtime_error sys_error(const char* what) {
   return std::runtime_error(std::string(what) + ": " +
                             std::strerror(errno));
+}
+
+timeval to_timeval(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  return tv;
 }
 }  // namespace
 
@@ -46,15 +56,21 @@ long TcpSocket::read_some(char* buf, std::size_t n) {
   }
 }
 
-bool TcpSocket::write_all(const char* buf, std::size_t n) {
+bool TcpSocket::send_all(int fd, const char* buf, std::size_t n) {
+  // socket.short_send caps every send at one byte, forcing the partial-
+  // write resume path that a loopback kernel almost never exercises.
+  const bool short_sends = SGM_FAILPOINT_HIT("socket.short_send");
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t w = ::send(fd_, buf + sent, n - sent, MSG_NOSIGNAL);
+    const std::size_t chunk = short_sends ? 1 : n - sent;
+    const ssize_t w = ::send(fd, buf + sent, chunk, MSG_NOSIGNAL);
     if (w > 0) {
       sent += static_cast<std::size_t>(w);
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
+    // Everything else — peer gone (EPIPE/ECONNRESET), SO_SNDTIMEO expiry
+    // (EAGAIN), bad fd — is a failed write; the caller owns the fallout.
     return false;
   }
   return true;
@@ -66,11 +82,13 @@ void TcpSocket::set_nodelay(bool on) {
 }
 
 void TcpSocket::set_recv_timeout(double seconds) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(seconds);
-  tv.tv_usec = static_cast<suseconds_t>(
-      (seconds - std::floor(seconds)) * 1e6);
+  const timeval tv = to_timeval(seconds);
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void TcpSocket::set_send_timeout(double seconds) {
+  const timeval tv = to_timeval(seconds);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void TcpSocket::close() {

@@ -40,9 +40,13 @@ class TcpSocket {
   /// peer shutdown, -1 on error. Retries EINTR internally.
   long read_some(char* buf, std::size_t n);
 
-  /// Writes all `n` bytes (looping over partial sends). Returns false on any
-  /// error; never raises SIGPIPE.
-  bool write_all(const char* buf, std::size_t n);
+  /// Writes all `n` bytes through the single audited send loop (send_all):
+  /// partial sends resume where they left off, EINTR retries, and a
+  /// SO_SNDTIMEO expiry (peer stopped reading) surfaces as false like any
+  /// other error. Never raises SIGPIPE. Returns false on any error.
+  bool write_all(const char* buf, std::size_t n) {
+    return send_all(fd_, buf, n);
+  }
   bool write_all(const std::string& s) {
     return write_all(s.data(), s.size());
   }
@@ -54,9 +58,21 @@ class TcpSocket {
   /// against idle keep-alive connections parking forever.
   void set_recv_timeout(double seconds);
 
+  /// Write timeout (SO_SNDTIMEO); 0 disables. A peer that accepts the
+  /// connection but never drains its receive buffer would otherwise park a
+  /// blocking send (and its handler thread) forever; with the timeout the
+  /// stalled send fails and write_all returns false.
+  void set_send_timeout(double seconds);
+
   void close();
 
  private:
+  /// The one send loop every write goes through (keeping the partial-write /
+  /// EINTR handling in a single audited place). The `socket.short_send`
+  /// failpoint caps each send at one byte so tests can drive the resume
+  /// path deterministically.
+  static bool send_all(int fd, const char* buf, std::size_t n);
+
   int fd_ = -1;
 };
 

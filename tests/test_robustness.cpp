@@ -1,0 +1,521 @@
+// Chaos/robustness suite (tier 1): deterministic failpoints, the crash-safe
+// durable-write protocol, registry recovery after a kill at every failpoint
+// in the publish path, train-checkpoint integrity, and the trainer's
+// divergence sentinel + rollback + byte-identical resume.
+//
+// Every test disarms the process-wide failpoint registry on entry and exit
+// so no spec leaks across tests (the registry is a process singleton).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "pinn/pde.hpp"
+#include "pinn/train_checkpoint.hpp"
+#include "pinn/trainer.hpp"
+#include "samplers/uniform.hpp"
+#include "serve/model_registry.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using sgm::nn::Mlp;
+using sgm::nn::MlpConfig;
+using sgm::util::FailpointRegistry;
+using sgm::util::FailpointTriggered;
+
+/// Fresh scratch directory under /tmp, wiped on construction + destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path("/tmp/sgm_robustness_" + name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string file(const std::string& name) const { return path + "/" + name; }
+  std::string path;
+};
+
+/// RAII failpoint hygiene: no spec survives into (or out of) a test.
+struct FailpointGuard {
+  FailpointGuard() { FailpointRegistry::instance().disarm_all(); }
+  ~FailpointGuard() { FailpointRegistry::instance().disarm_all(); }
+};
+
+void arm(const std::string& name, const std::string& spec) {
+  FailpointRegistry::instance().arm(name, spec);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+Mlp make_net(std::uint64_t seed, std::size_t width = 12,
+             std::size_t depth = 2) {
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.output_dim = 1;
+  cfg.width = width;
+  cfg.depth = depth;
+  sgm::util::Rng rng(seed);
+  return Mlp(cfg, rng);
+}
+
+// ------------------------------------------------------------- failpoints --
+
+TEST(Failpoint, UnarmedSiteNeverFires) {
+  FailpointGuard guard;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.unarmed"));
+}
+
+TEST(Failpoint, OnceFiresExactlyOnceThenDisarms) {
+  FailpointGuard guard;
+  arm("test.fp.once", "once");
+  EXPECT_TRUE(SGM_FAILPOINT_HIT("test.fp.once"));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.once"));
+}
+
+TEST(Failpoint, AfterNPassesThenFiresOnce) {
+  FailpointGuard guard;
+  arm("test.fp.after", "after:3");
+  EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.after"));
+  EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.after"));
+  EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.after"));
+  EXPECT_TRUE(SGM_FAILPOINT_HIT("test.fp.after"));
+  EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.after"));  // disarmed after firing
+}
+
+TEST(Failpoint, AlwaysFiresUntilDisarmed) {
+  FailpointGuard guard;
+  arm("test.fp.always", "always");
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(SGM_FAILPOINT_HIT("test.fp.always"));
+  FailpointRegistry::instance().disarm("test.fp.always");
+  EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.always"));
+}
+
+TEST(Failpoint, ProbReplaysExactlyGivenSeed) {
+  FailpointGuard guard;
+  auto run_pattern = [] {
+    FailpointRegistry::instance().set_seed(0xC0FFEEull);
+    arm("test.fp.prob", "prob:0.5");
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i)
+      fired.push_back(SGM_FAILPOINT_HIT("test.fp.prob"));
+    FailpointRegistry::instance().disarm("test.fp.prob");
+    return fired;
+  };
+  const std::vector<bool> a = run_pattern();
+  const std::vector<bool> b = run_pattern();
+  EXPECT_EQ(a, b);
+  // Not degenerate: 64 draws at p=0.5 include both outcomes.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(Failpoint, MalformedSpecsThrow) {
+  FailpointGuard guard;
+  EXPECT_THROW(arm("test.fp.bad", ""), std::invalid_argument);
+  EXPECT_THROW(arm("test.fp.bad", "sometimes"), std::invalid_argument);
+  EXPECT_THROW(arm("test.fp.bad", "prob:2.0"), std::invalid_argument);
+  EXPECT_THROW(arm("test.fp.bad", "prob:-0.1"), std::invalid_argument);
+  EXPECT_THROW(arm("test.fp.bad", "prob:"), std::invalid_argument);
+  EXPECT_THROW(arm("test.fp.bad", "after:"), std::invalid_argument);
+  EXPECT_THROW(arm("test.fp.bad", "after:x"), std::invalid_argument);
+  EXPECT_THROW(
+      FailpointRegistry::instance().arm_from_spec_list("a=once,b"),
+      std::invalid_argument);
+  // A failed arm leaves nothing armed.
+  EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.bad"));
+}
+
+TEST(Failpoint, ArmBeforeFirstExecutionApplies) {
+  FailpointGuard guard;
+  // The macro below is this name's first execution in the process; the spec
+  // must be waiting for it.
+  arm("test.fp.pending_site", "once");
+  EXPECT_TRUE(SGM_FAILPOINT_HIT("test.fp.pending_site"));
+  EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.pending_site"));
+}
+
+TEST(Failpoint, SpecListArmsSeveralSites) {
+  FailpointGuard guard;
+  FailpointRegistry::instance().arm_from_spec_list(
+      "test.fp.list_a=once,test.fp.list_b=after:1");
+  EXPECT_TRUE(SGM_FAILPOINT_HIT("test.fp.list_a"));
+  EXPECT_FALSE(SGM_FAILPOINT_HIT("test.fp.list_b"));
+  EXPECT_TRUE(SGM_FAILPOINT_HIT("test.fp.list_b"));
+}
+
+TEST(Failpoint, CountersAndListReportSites) {
+  FailpointGuard guard;
+  arm("test.fp.counted", "always");
+  (void)SGM_FAILPOINT_HIT("test.fp.counted");
+  (void)SGM_FAILPOINT_HIT("test.fp.counted");
+  bool found = false;
+  for (const auto& info : FailpointRegistry::instance().list()) {
+    if (info.name != "test.fp.counted") continue;
+    found = true;
+    EXPECT_TRUE(info.armed);
+    EXPECT_GE(info.hits, 2u);
+    EXPECT_GE(info.fires, 2u);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(FailpointRegistry::instance().total_fires(), 2u);
+}
+
+TEST(Failpoint, ThrowingMacroCarriesSiteName) {
+  FailpointGuard guard;
+  arm("test.fp.throwing", "once");
+  try {
+    SGM_FAILPOINT("test.fp.throwing");
+    FAIL() << "failpoint did not fire";
+  } catch (const FailpointTriggered& e) {
+    EXPECT_EQ(e.site(), "test.fp.throwing");
+  }
+}
+
+// ---------------------------------------------------------- durable writes --
+
+TEST(DurableWrite, WritesAndAtomicallyReplaces) {
+  FailpointGuard guard;
+  ScratchDir dir("durable_basic");
+  const std::string path = dir.file("data.bin");
+  sgm::util::write_file_durable(path, "first");
+  EXPECT_EQ(read_file(path), "first");
+  sgm::util::write_file_durable(path, "second, longer payload");
+  EXPECT_EQ(read_file(path), "second, longer payload");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(DurableWrite, FailureAtEveryStepLeavesOldFileIntact) {
+  for (const char* site :
+       {"durable_write.torn", "durable_write.before_fsync",
+        "durable_write.before_rename"}) {
+    FailpointGuard guard;
+    ScratchDir dir(std::string("durable_") + site);
+    const std::string path = dir.file("data.bin");
+    sgm::util::write_file_durable(path, "old-and-intact");
+    arm(site, "once");
+    EXPECT_THROW(sgm::util::write_file_durable(path, "replacement"),
+                 FailpointTriggered)
+        << site;
+    EXPECT_EQ(read_file(path), "old-and-intact") << site;
+  }
+}
+
+TEST(DurableWrite, AfterRenameFailureStillReplacedTheFile) {
+  FailpointGuard guard;
+  ScratchDir dir("durable_after_rename");
+  const std::string path = dir.file("data.bin");
+  sgm::util::write_file_durable(path, "old");
+  arm("durable_write.after_rename", "once");
+  // The crash lands after the atomic rename: the protocol already
+  // committed, only the directory fsync is missing.
+  EXPECT_THROW(sgm::util::write_file_durable(path, "new"),
+               FailpointTriggered);
+  EXPECT_EQ(read_file(path), "new");
+}
+
+TEST(DurableWrite, StaleTempSweepRemovesResidue) {
+  FailpointGuard guard;
+  ScratchDir dir("durable_sweep");
+  const std::string path = dir.file("data.bin");
+  arm("durable_write.before_rename", "once");
+  EXPECT_THROW(sgm::util::write_file_durable(path, "doomed"),
+               FailpointTriggered);
+  EXPECT_TRUE(fs::exists(path + ".tmp"));  // the crash residue
+  const auto removed = sgm::util::remove_stale_temp_files(dir.path);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], path + ".tmp");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(DurableWrite, QuarantineSidelinesFile) {
+  FailpointGuard guard;
+  ScratchDir dir("durable_quarantine");
+  const std::string path = dir.file("v3.ckpt");
+  sgm::util::write_file_durable(path, "corrupt bytes");
+  const std::string moved = sgm::util::quarantine_file(path);
+  EXPECT_EQ(moved, path + ".quarantined");
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(read_file(moved), "corrupt bytes");
+}
+
+// ------------------------------------- registry kill-at-every-failpoint ----
+
+// The acceptance test for durability: kill the publisher at every failpoint
+// in the publish protocol; a fresh registry over the same directory must
+// always come back serving the latest intact version, and the next publish
+// must allocate a strictly newer version.
+TEST(RegistryRecovery, KillAtEveryFailpointAlwaysRecovers) {
+  const char* kSites[] = {
+      "registry.publish.before_write", "durable_write.torn",
+      "durable_write.before_fsync",    "durable_write.before_rename",
+      "durable_write.after_rename",    "registry.publish.after_write",
+  };
+  const Mlp net = make_net(11);
+  for (const char* site : kSites) {
+    FailpointGuard guard;
+    ScratchDir dir(std::string("registry_kill_") + site);
+    {
+      sgm::serve::ModelRegistry reg(dir.path);
+      EXPECT_EQ(reg.publish("scn", net), 1u) << site;
+      arm(site, "once");
+      EXPECT_THROW(reg.publish("scn", net), FailpointTriggered) << site;
+    }
+    FailpointRegistry::instance().disarm_all();
+
+    // "Reboot": a fresh registry over the same directory.
+    sgm::serve::ModelRegistry reg(dir.path);
+    const auto served = reg.acquire("scn");
+    // v1 always survived; sites past the rename also committed v2. Either
+    // way the load checksum-verified the bytes.
+    EXPECT_TRUE(served->info.meta.model_version == 1 ||
+                served->info.meta.model_version == 2)
+        << site << " served v" << served->info.meta.model_version;
+    // The reopen sweep removed any crash residue.
+    for (const auto& entry : fs::recursive_directory_iterator(dir.path))
+      EXPECT_NE(entry.path().extension(), ".tmp") << site;
+    // Publishing again always moves strictly forward.
+    const std::uint64_t next = reg.publish("scn", net);
+    EXPECT_GT(next, served->info.meta.model_version) << site;
+    EXPECT_NO_THROW(reg.audit()) << site;
+  }
+}
+
+// ------------------------------------------------------- train checkpoints --
+
+sgm::pinn::TrainCheckpoint sample_checkpoint() {
+  sgm::pinn::TrainCheckpoint ckpt;
+  ckpt.iteration = 1234;
+  ckpt.train_wall_s = 5.75;
+  ckpt.loss_accum = 0.125;
+  ckpt.loss_count = 17;
+  ckpt.lr_scale = 0.25;
+  sgm::util::Rng rng(99);
+  for (int i = 0; i < 5; ++i) (void)rng.uniform();
+  (void)rng.normal();  // leave a spare cached, the hardest state to carry
+  ckpt.rng = rng.state();
+  ckpt.adam.iterations = 1234;
+  ckpt.adam.beta1_pow = 0.5;
+  ckpt.adam.beta2_pow = 0.25;
+  sgm::tensor::Matrix m(3, 4);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = 0.25 * static_cast<double>(i) - 1.0;
+  ckpt.adam.m = {m};
+  ckpt.adam.v = {m};
+  ckpt.params = {m, m};
+  ckpt.sampler.indices = {7, 3, 5, 1, 0, 6, 2, 4};
+  ckpt.sampler.cursor = 3;
+  ckpt.sampler.shuffled = true;
+  return ckpt;
+}
+
+TEST(TrainCheckpointFormat, RoundTripsBitExactly) {
+  FailpointGuard guard;
+  ScratchDir dir("trainckpt_roundtrip");
+  const std::string path = dir.file("train.ckpt");
+  const sgm::pinn::TrainCheckpoint ckpt = sample_checkpoint();
+  sgm::pinn::save_train_checkpoint(ckpt, path);
+  const sgm::pinn::TrainCheckpoint back =
+      sgm::pinn::load_train_checkpoint(path);
+  EXPECT_EQ(back.iteration, ckpt.iteration);
+  EXPECT_EQ(back.train_wall_s, ckpt.train_wall_s);
+  EXPECT_EQ(back.loss_accum, ckpt.loss_accum);
+  EXPECT_EQ(back.loss_count, ckpt.loss_count);
+  EXPECT_EQ(back.lr_scale, ckpt.lr_scale);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(back.rng.s[i], ckpt.rng.s[i]);
+  EXPECT_EQ(back.rng.spare_normal, ckpt.rng.spare_normal);
+  EXPECT_EQ(back.rng.has_spare, ckpt.rng.has_spare);
+  EXPECT_EQ(back.adam.iterations, ckpt.adam.iterations);
+  EXPECT_EQ(back.adam.beta1_pow, ckpt.adam.beta1_pow);
+  EXPECT_EQ(back.adam.beta2_pow, ckpt.adam.beta2_pow);
+  ASSERT_EQ(back.params.size(), ckpt.params.size());
+  for (std::size_t i = 0; i < back.params.size(); ++i) {
+    ASSERT_EQ(back.params[i].size(), ckpt.params[i].size());
+    EXPECT_EQ(std::memcmp(back.params[i].data(), ckpt.params[i].data(),
+                          ckpt.params[i].size() * sizeof(double)),
+              0);
+  }
+  EXPECT_EQ(back.sampler.indices, ckpt.sampler.indices);
+  EXPECT_EQ(back.sampler.cursor, ckpt.sampler.cursor);
+  EXPECT_EQ(back.sampler.shuffled, ckpt.sampler.shuffled);
+}
+
+TEST(TrainCheckpointFormat, RejectsCorruptTruncatedAndEmptyFiles) {
+  FailpointGuard guard;
+  ScratchDir dir("trainckpt_corrupt");
+  const std::string path = dir.file("train.ckpt");
+  sgm::pinn::save_train_checkpoint(sample_checkpoint(), path);
+  const std::string good = read_file(path);
+
+  // Bit flip mid-body -> checksum mismatch.
+  std::string flipped = good;
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0x40);
+  std::ofstream(path, std::ios::binary) << flipped;
+  EXPECT_THROW(sgm::pinn::load_train_checkpoint(path), std::runtime_error);
+
+  // Truncation -> size check.
+  std::ofstream(path, std::ios::binary) << good.substr(0, good.size() / 2);
+  EXPECT_THROW(sgm::pinn::load_train_checkpoint(path), std::runtime_error);
+
+  // Zero-length -> magic check.
+  std::ofstream(path, std::ios::binary) << "";
+  EXPECT_THROW(sgm::pinn::load_train_checkpoint(path), std::runtime_error);
+
+  // Missing file.
+  fs::remove(path);
+  EXPECT_THROW(sgm::pinn::load_train_checkpoint(path), std::runtime_error);
+}
+
+// --------------------------------------------------------- trainer chaos ---
+
+sgm::pinn::PoissonProblem::Options small_problem_options() {
+  sgm::pinn::PoissonProblem::Options popt;
+  popt.interior_points = 512;
+  return popt;
+}
+
+sgm::pinn::TrainerOptions small_trainer(std::uint64_t iters) {
+  sgm::pinn::TrainerOptions opt;
+  opt.batch_size = 64;
+  opt.max_iterations = iters;
+  opt.learning_rate = 2e-3;
+  opt.validate_every = 1000;  // only the final record
+  opt.seed = 3;
+  opt.num_threads = 1;
+  return opt;
+}
+
+TEST(TrainerRecovery, InjectedDivergenceRollsBackAndFinishes) {
+  FailpointGuard guard;
+  const sgm::pinn::PoissonProblem problem(small_problem_options());
+  Mlp net = make_net(11);
+  sgm::samplers::UniformSampler sampler(512);
+  auto opt = small_trainer(60);
+  opt.snapshot_every = 10;
+  // Fire on the 26th sentinel evaluation (iteration 25), then disarm: one
+  // clean divergence mid-run.
+  arm("trainer.diverge", "after:25");
+  sgm::pinn::Trainer trainer(problem, net, sampler, opt);
+  const auto history = trainer.run();
+  EXPECT_EQ(history.divergence_rollbacks, 1u);
+  ASSERT_FALSE(history.records.empty());
+  EXPECT_EQ(history.records.back().iteration, 60u);
+  EXPECT_TRUE(std::isfinite(history.records.back().mean_loss));
+  // No iteration appears twice despite the rollback.
+  for (std::size_t i = 1; i < history.records.size(); ++i)
+    EXPECT_GT(history.records[i].iteration, history.records[i - 1].iteration);
+}
+
+TEST(TrainerRecovery, DivergenceWithoutSnapshotsThrows) {
+  FailpointGuard guard;
+  const sgm::pinn::PoissonProblem problem(small_problem_options());
+  Mlp net = make_net(11);
+  sgm::samplers::UniformSampler sampler(512);
+  auto opt = small_trainer(20);
+  opt.snapshot_every = 0;  // rollback disabled
+  arm("trainer.diverge", "once");
+  sgm::pinn::Trainer trainer(problem, net, sampler, opt);
+  EXPECT_THROW(trainer.run(), std::runtime_error);
+}
+
+TEST(TrainerRecovery, BoundedRetriesGiveUpOnPersistentDivergence) {
+  FailpointGuard guard;
+  const sgm::pinn::PoissonProblem problem(small_problem_options());
+  Mlp net = make_net(11);
+  sgm::samplers::UniformSampler sampler(512);
+  auto opt = small_trainer(20);
+  opt.snapshot_every = 5;
+  opt.max_divergence_retries = 2;
+  arm("trainer.diverge", "always");
+  sgm::pinn::Trainer trainer(problem, net, sampler, opt);
+  EXPECT_THROW(trainer.run(), std::runtime_error);
+}
+
+TEST(TrainerRecovery, ResumeFromCheckpointIsByteIdentical) {
+  FailpointGuard guard;
+  ScratchDir dir("trainer_resume");
+  const std::string ckpt_path = dir.file("train.ckpt");
+  const sgm::pinn::PoissonProblem problem(small_problem_options());
+
+  // Reference: one uninterrupted 40-iteration run.
+  Mlp net_a = make_net(11);
+  {
+    sgm::samplers::UniformSampler sampler(512);
+    sgm::pinn::Trainer trainer(problem, net_a, sampler, small_trainer(40));
+    (void)trainer.run();
+  }
+
+  // Crashed run: stops at 20 with a durable checkpoint...
+  Mlp net_b = make_net(11);
+  {
+    sgm::samplers::UniformSampler sampler(512);
+    auto opt = small_trainer(20);
+    opt.checkpoint_path = ckpt_path;
+    opt.checkpoint_every = 20;
+    sgm::pinn::Trainer trainer(problem, net_b, sampler, opt);
+    (void)trainer.run();
+  }
+
+  // ...and a fresh process (fresh net, same init seed) resumes it to 40.
+  Mlp net_c = make_net(11);
+  {
+    sgm::samplers::UniformSampler sampler(512);
+    auto opt = small_trainer(40);
+    opt.checkpoint_path = ckpt_path;
+    opt.resume = true;
+    sgm::pinn::Trainer trainer(problem, net_c, sampler, opt);
+    const auto history = trainer.run();
+    EXPECT_EQ(history.resumed_from_iteration, 20u);
+  }
+
+  const auto params_a = net_a.parameters();
+  const auto params_c = net_c.parameters();
+  ASSERT_EQ(params_a.size(), params_c.size());
+  for (std::size_t i = 0; i < params_a.size(); ++i) {
+    ASSERT_EQ(params_a[i]->size(), params_c[i]->size());
+    EXPECT_EQ(std::memcmp(params_a[i]->data(), params_c[i]->data(),
+                          params_a[i]->size() * sizeof(double)),
+              0)
+        << "parameter tensor " << i << " diverged across resume";
+  }
+}
+
+TEST(TrainerRecovery, ResumeWithMissingCheckpointStartsFresh) {
+  FailpointGuard guard;
+  ScratchDir dir("trainer_resume_missing");
+  const sgm::pinn::PoissonProblem problem(small_problem_options());
+  Mlp net = make_net(11);
+  sgm::samplers::UniformSampler sampler(512);
+  auto opt = small_trainer(10);
+  opt.checkpoint_path = dir.file("never_written.ckpt");
+  opt.resume = true;
+  sgm::pinn::Trainer trainer(problem, net, sampler, opt);
+  const auto history = trainer.run();
+  EXPECT_EQ(history.resumed_from_iteration, 0u);
+  EXPECT_EQ(history.records.back().iteration, 10u);
+}
+
+}  // namespace

@@ -18,6 +18,8 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -891,6 +893,226 @@ TEST_F(ServeTest, HttpQueueFullReturns503) {
   batcher.stop();
 
   EXPECT_TRUE(saw_503) << "a full 2-slot pool must surface as HTTP 503";
+  EXPECT_GE(metrics.rejected_total.load(), 1u);
+}
+
+// ------------------------------------------------ failure-model regressions --
+
+/// Reads a checkpoint file, applies `mutate`, writes it back. Helper for
+/// the corruption-recovery tests below.
+void corrupt_file(const fs::path& path,
+                  const std::function<void(std::string&)>& mutate) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  mutate(bytes);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Durability acceptance: a reopened registry must quarantine checkpoints
+// that fail validation — truncated, bit-flipped, or zero-length — fall back
+// to the newest intact version, and never reuse a quarantined version
+// number for future publishes.
+TEST_F(ServeTest, RegistryReopenQuarantinesCorruptCheckpoints) {
+  sgm::util::Rng rng(51);
+  Mlp net(small_config(), rng);
+  {
+    ModelRegistry registry(root_);
+    for (int v = 0; v < 4; ++v) registry.publish("s", net);
+  }
+  const fs::path dir = fs::path(root_) / "s";
+  // v2: hard truncation (half the file), v3: single bit flip mid-payload
+  // (caught by the checksum trailer), v4: zero-length residue.
+  corrupt_file(dir / "v2.ckpt",
+               [](std::string& b) { b.resize(b.size() / 2); });
+  corrupt_file(dir / "v3.ckpt", [](std::string& b) { b[b.size() / 2] ^= 0x10; });
+  corrupt_file(dir / "v4.ckpt", [](std::string& b) { b.clear(); });
+
+  ModelRegistry reopened(root_);
+  const auto lease = reopened.acquire("s");
+  EXPECT_EQ(lease->info.meta.model_version, 1)
+      << "must fall back to the newest intact checkpoint";
+  EXPECT_EQ(reopened.stats().quarantined, 3u);
+  EXPECT_TRUE(fs::exists(dir / "v2.ckpt.quarantined"));
+  EXPECT_TRUE(fs::exists(dir / "v3.ckpt.quarantined"));
+  EXPECT_TRUE(fs::exists(dir / "v4.ckpt.quarantined"));
+  EXPECT_FALSE(fs::exists(dir / "v2.ckpt"));
+
+  // Version allocation must skip the quarantined 2..4 — reusing a number
+  // would let a stale sidelined file shadow a fresh publish.
+  EXPECT_EQ(reopened.publish("s", net), 5u);
+  EXPECT_EQ(reopened.acquire("s")->info.meta.model_version, 5);
+}
+
+/// http_request with an extra raw header line spliced into the head.
+std::string http_request_with_header(std::uint16_t port,
+                                     const std::string& target,
+                                     const std::string& header,
+                                     const std::string& body) {
+  std::string req = "POST " + target + " HTTP/1.1\r\n";
+  req += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  req += header + "\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  req += body;
+  return raw_exchange(port, req);
+}
+
+// Deadline budgets end to end: a request whose x-deadline-ms budget is
+// below the batcher's flush delay must be shed up front with 503 +
+// Retry-After and counted in sgm_serve_deadline_shed_total; a malformed
+// budget is the client's bug (400), and requests without budgets are
+// untouched.
+TEST_F(ServeTest, HttpDeadlineShedReturns503WithRetryAfter) {
+  HttpStack stack(root_);
+  sgm::util::Rng rng(52);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("s", net);
+  const std::uint16_t port = stack.server->port();
+  const std::string body = "{\"scenario\": \"s\", \"x\": [0.5, 0.5]}";
+
+  // Estimated wait is floored at max_delay_s (200 us): a 50 us budget can
+  // never be met, so the shed decision is deterministic.
+  const std::string resp = http_request_with_header(
+      port, "/v1/query", "x-deadline-ms: 0.05", body);
+  EXPECT_EQ(response_status(resp), 503) << resp;
+  EXPECT_NE(resp.find("Retry-After: "), std::string::npos)
+      << "shed responses must tell the client when to come back: " << resp;
+  EXPECT_GE(stack.metrics.deadline_shed_total.load(), 1u);
+
+  // A generous budget and no budget at all must both serve normally.
+  EXPECT_EQ(response_status(http_request_with_header(
+                port, "/v1/query", "x-deadline-ms: 5000", body)),
+            200);
+  EXPECT_EQ(response_status(http_request(port, "POST", "/v1/query", body)),
+            200);
+
+  // Malformed budgets are rejected loudly, not silently ignored.
+  for (const char* bad :
+       {"x-deadline-ms: nope", "x-deadline-ms: -3", "x-deadline-ms: 0",
+        "x-deadline-ms: inf", "x-deadline-ms: 12garbage"}) {
+    EXPECT_EQ(response_status(
+                  http_request_with_header(port, "/v1/query", bad, body)),
+              400)
+        << bad;
+  }
+
+  // Both failure-model counters are on the exposition page.
+  const std::string metrics_body =
+      response_body(http_request(port, "GET", "/metrics", ""));
+  EXPECT_NE(metrics_body.find("sgm_serve_deadline_shed_total"),
+            std::string::npos)
+      << metrics_body;
+  EXPECT_NE(metrics_body.find("sgm_registry_quarantined_total"),
+            std::string::npos)
+      << metrics_body;
+}
+
+// /healthz is a state machine, not a constant: ok -> degraded (latched for
+// one probe after a shed) -> ok, and draining (503) once stop begins.
+TEST_F(ServeTest, HealthzReportsDegradedAfterShedAndDrainingOnStop) {
+  HttpStack stack(root_);
+  sgm::util::Rng rng(53);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("s", net);
+  const std::uint16_t port = stack.server->port();
+
+  std::string resp = http_request(port, "GET", "/healthz", "");
+  EXPECT_EQ(response_status(resp), 200);
+  EXPECT_EQ(response_body(resp), "ok\n");
+
+  // One shed latches exactly one degraded probe.
+  const std::string body = "{\"scenario\": \"s\", \"x\": [0.5, 0.5]}";
+  EXPECT_EQ(response_status(http_request_with_header(
+                port, "/v1/query", "x-deadline-ms: 0.05", body)),
+            503);
+  resp = http_request(port, "GET", "/healthz", "");
+  EXPECT_EQ(response_status(resp), 200) << "degraded still serves traffic";
+  EXPECT_EQ(response_body(resp), "degraded\n");
+  EXPECT_EQ(response_body(http_request(port, "GET", "/healthz", "")), "ok\n")
+      << "the shed latch is consumed by one probe";
+
+  // Draining: load balancers must see 503 and stop routing here.
+  stack.batcher.stop();
+  resp = http_request(port, "GET", "/healthz", "");
+  EXPECT_EQ(response_status(resp), 503);
+  EXPECT_EQ(response_body(resp), "draining\n");
+}
+
+// The degradation loop closed end to end: ring rejections surface as 503 +
+// Retry-After, and a client that honors them with exponential backoff gets
+// served once capacity returns — no lost requests, no manual intervention.
+TEST_F(ServeTest, Http503RetryWithBackoffEventuallySucceeds) {
+  ModelRegistry registry(root_);
+  ServeMetrics metrics;
+  BatcherOptions bopt;
+  bopt.mode = QueueMode::kRing;
+  bopt.queue_capacity = 2;
+  bopt.max_batch = 8;        // batches never fill ...
+  bopt.max_delay_s = 20e-3;  // ... so each query holds its slot ~20 ms
+  InferenceBatcher batcher(registry, bopt, &metrics);
+  sgm::serve::HttpServerOptions hopt;
+  hopt.num_workers = 2;
+  sgm::serve::HttpServer server(registry, batcher, metrics, hopt);
+
+  sgm::util::Rng rng(54);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> run{true};
+  std::vector<std::thread> blockers;
+  for (int b = 0; b < 2; ++b) {
+    blockers.emplace_back([&] {
+      while (run.load()) {
+        try {
+          (void)batcher.query("s", {0.25, 0.75});
+        } catch (const QueueFullError&) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Phase 1: drive until the saturated ring surfaces as a 503 with a
+  // Retry-After hint (200s are possible while the blockers race for
+  // freed slots — keep probing).
+  const std::string body = "{\"scenario\": \"s\", \"x\": [0.5, 0.5]}";
+  bool saw_503 = false;
+  for (int attempt = 0; attempt < 400 && !saw_503; ++attempt) {
+    const std::string resp = http_request(port, "POST", "/v1/query", body);
+    if (response_status(resp) == 503) {
+      saw_503 = true;
+      EXPECT_NE(resp.find("Retry-After: "), std::string::npos) << resp;
+    }
+  }
+
+  // Phase 2: release the pool and let a well-behaved client ride out the
+  // recovery with exponential backoff — it must eventually be served.
+  run.store(false);
+  for (auto& t : blockers) t.join();
+  bool succeeded = false;
+  auto backoff = std::chrono::milliseconds(1);
+  for (int attempt = 0; attempt < 40 && !succeeded; ++attempt) {
+    const std::string resp = http_request(port, "POST", "/v1/query", body);
+    const int status = response_status(resp);
+    if (status == 200) {
+      succeeded = true;
+      break;
+    }
+    ASSERT_EQ(status, 503) << resp;
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(50));
+  }
+  server.stop();
+  batcher.stop();
+
+  EXPECT_TRUE(saw_503) << "a full 2-slot ring must surface as HTTP 503";
+  EXPECT_TRUE(succeeded)
+      << "retry-with-backoff must succeed once the pool drains";
   EXPECT_GE(metrics.rejected_total.load(), 1u);
 }
 

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/failpoint.hpp"
 #include "util/socket.hpp"
 
 namespace {
@@ -117,6 +118,53 @@ TEST(Socket, AcceptAfterCloseReturnsInvalid) {
   TcpListener listener(0);
   listener.close();
   EXPECT_FALSE(listener.accept().valid());
+}
+
+// Regression for the send loop: with the `socket.short_send` failpoint
+// forcing 1-byte kernel writes, write_all must resume from every partial
+// send and still deliver the payload bitwise (the HTTP server's only write
+// path rides on this loop).
+TEST(Socket, WriteAllResumesAcrossShortSends) {
+  sgm::util::FailpointRegistry::instance().arm("socket.short_send", "always");
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+
+  std::string payload(8192, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<char>('a' + i % 23);
+
+  std::string received;
+  std::thread reader([&] {
+    char chunk[512];
+    long n;
+    while (received.size() < payload.size() &&
+           (n = lb.server.read_some(chunk, sizeof(chunk))) > 0)
+      received.append(chunk, static_cast<std::size_t>(n));
+  });
+  const bool ok = lb.client.write_all(payload);
+  reader.join();
+  sgm::util::FailpointRegistry::instance().disarm_all();
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, payload);
+}
+
+// A peer that never reads must not park the writer forever: once the
+// kernel buffers fill, SO_SNDTIMEO expires the blocked send and write_all
+// reports failure (the per-connection write timeout in the HTTP server).
+TEST(Socket, SendTimeoutFailsStalledWrite) {
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+  lb.client.set_send_timeout(0.1);
+
+  // Large enough to overrun both the send and receive kernel buffers on
+  // any sane loopback configuration.
+  const std::string payload(64 * 1024 * 1024, 'x');
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(lb.client.write_all(payload));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(30))
+      << "the write timeout must bound the stall";
 }
 
 TEST(Socket, ConnectToDeadPortThrows) {
