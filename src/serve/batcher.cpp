@@ -41,6 +41,16 @@ enum class ErrKind : std::uint8_t {
   }
 }
 
+QueryError to_query_error(ErrKind kind) {
+  switch (kind) {
+    case ErrKind::kNone: return QueryError::kNone;
+    case ErrKind::kOutOfRange: return QueryError::kNotFound;
+    case ErrKind::kInvalidArgument: return QueryError::kInvalidArgument;
+    case ErrKind::kRuntime: return QueryError::kRuntime;
+  }
+  return QueryError::kRuntime;
+}
+
 // Slot completion phases; a slot's state word is generation * 4 + phase.
 constexpr std::uint64_t kPhaseFree = 0;
 constexpr std::uint64_t kPhaseQueued = 1;
@@ -126,6 +136,13 @@ struct alignas(64) InferenceBatcher::Slot {
   Response resp;
   ErrKind err = ErrKind::kNone;
   std::string message;
+  // Async completion (query_async): when `done` is set there is no parked
+  // client — complete_slot delivers the response through the callback and
+  // recycles the slot itself, on the worker thread.
+  InferenceBatcher::Completion done = nullptr;
+  void* done_ctx = nullptr;
+  std::uint64_t done_tag1 = 0;
+  std::uint64_t done_tag2 = 0;
   // Completion protocol. `parked` is an integer so both sides of its
   // Dekker pairing can use RMWs (see complete_slot).
   std::atomic<std::uint64_t> state{kPhaseFree};
@@ -255,8 +272,11 @@ void InferenceBatcher::count_flush(std::size_t batch_size) {
 // Ring mode
 // ---------------------------------------------------------------------------
 
-InferenceBatcher::Response InferenceBatcher::ring_query(
-    const std::string& scenario, std::vector<double>&& x) {
+std::uint32_t InferenceBatcher::ring_submit(const std::string& scenario,
+                                            std::vector<double>&& x,
+                                            Completion done, void* ctx,
+                                            std::uint64_t tag1,
+                                            std::uint64_t tag2) {
   if (stop_flag_.load(std::memory_order_acquire))
     throw std::runtime_error("InferenceBatcher: query after stop()");
   std::uint32_t idx = 0;
@@ -274,6 +294,10 @@ InferenceBatcher::Response InferenceBatcher::ring_query(
   slot.x = std::move(x);
   slot.err = ErrKind::kNone;
   slot.message.clear();
+  slot.done = done;
+  slot.done_ctx = ctx;
+  slot.done_tag1 = tag1;
+  slot.done_tag2 = tag2;
   slot.since_enqueue.reset();
   slot.deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -286,6 +310,7 @@ InferenceBatcher::Response InferenceBatcher::ring_query(
   pending_pushes_.fetch_add(1, std::memory_order_seq_cst);
   if (stop_flag_.load(std::memory_order_seq_cst)) {
     pending_pushes_.fetch_sub(1, std::memory_order_release);
+    slot.done = nullptr;
     slot.generation = gen + 1;
     slot.state.store((gen + 1) * 4 + kPhaseFree, std::memory_order_release);
     for (int s = 0; !freelist_->try_push(idx);) backoff(s);
@@ -297,6 +322,34 @@ InferenceBatcher::Response InferenceBatcher::ring_query(
   for (int s = 0; !ring_->try_push(idx);) backoff(s);
   pending_pushes_.fetch_sub(1, std::memory_order_release);
   gate_.notify();
+  return idx;
+}
+
+void InferenceBatcher::query_async(const std::string& scenario,
+                                   std::vector<double> x, double deadline_s,
+                                   Completion done, void* ctx,
+                                   std::uint64_t tag1, std::uint64_t tag2) {
+  SGM_CHECK_ARG(done != nullptr,
+                "InferenceBatcher: query_async needs a completion");
+  if (opt_.mode != QueueMode::kRing)
+    throw std::logic_error(
+        "InferenceBatcher: query_async requires QueueMode::kRing");
+  if (draining_.load(std::memory_order_acquire))
+    throw std::runtime_error("InferenceBatcher: query after stop()");
+  const double budget =
+      deadline_s < 0.0 ? opt_.default_deadline_s : deadline_s;
+  maybe_shed(budget);
+  ring_submit(scenario, std::move(x), done, ctx, tag1, tag2);
+}
+
+InferenceBatcher::Response InferenceBatcher::ring_query(
+    const std::string& scenario, std::vector<double>&& x) {
+  const std::uint32_t idx =
+      ring_submit(scenario, std::move(x), nullptr, nullptr, 0, 0);
+  Slot& slot = slots_[idx];
+  // Safe to re-read: only the submitting client ever writes `generation`
+  // for a sync slot, so it is unchanged since ring_submit claimed the slot.
+  const std::uint64_t gen = slot.generation;
 
   // Spin-then-park on the slot until the worker publishes the response.
   const std::uint64_t want = gen * 4 + kPhaseDone;
@@ -336,6 +389,28 @@ InferenceBatcher::Response InferenceBatcher::ring_query(
 
 void InferenceBatcher::complete_slot(Slot& slot) {
   const std::uint64_t gen = slot.state.load(std::memory_order_relaxed) / 4;
+  if (slot.done != nullptr) {
+    // Async slot (query_async): no parked client — move the outcome out,
+    // recycle the slot here (it is back in the pool before the callback
+    // runs, so a slow callback never holds queue capacity), then deliver.
+    // This thread is the slot's exclusive owner; plain reads suffice.
+    const Completion done = slot.done;
+    void* const ctx = slot.done_ctx;
+    const std::uint64_t tag1 = slot.done_tag1;
+    const std::uint64_t tag2 = slot.done_tag2;
+    Response resp = std::move(slot.resp);
+    const ErrKind err = slot.err;
+    std::string message = std::move(slot.message);
+    slot.done = nullptr;
+    slot.resp = Response{};
+    slot.message = std::string();
+    slot.generation = gen + 1;
+    slot.state.store((gen + 1) * 4 + kPhaseFree, std::memory_order_release);
+    const auto idx = static_cast<std::uint32_t>(&slot - slots_.get());
+    for (int s = 0; !freelist_->try_push(idx);) backoff(s);
+    done(ctx, tag1, tag2, std::move(resp), to_query_error(err), message);
+    return;
+  }
   slot.state.store(gen * 4 + kPhaseDone, std::memory_order_release);
   // Dekker pair with the client's parked publication, fence-free (TSan
   // cannot model fences): both sides RMW `parked` seq_cst. If this identity

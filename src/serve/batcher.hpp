@@ -89,6 +89,17 @@ enum class QueueMode : std::uint8_t {
   kMutex,  ///< PR 6 mutex-guarded deque + promise/future (A/B baseline)
 };
 
+/// Error classification carried by an async completion (query_async). The
+/// worker cannot throw into the submitter's thread, so failures travel as a
+/// code + message; the HTTP reactor maps them to the same statuses the
+/// blocking query()'s exceptions get.
+enum class QueryError : std::uint8_t {
+  kNone,             ///< success
+  kNotFound,         ///< unpublished scenario (std::out_of_range ~ 404)
+  kInvalidArgument,  ///< wrong input width etc. (std::invalid_argument ~ 400)
+  kRuntime,          ///< forward failure / stopped (std::runtime_error ~ 503)
+};
+
 struct BatcherOptions {
   std::size_t max_batch = 64;    ///< coalesce at most this many queries
   double max_delay_s = 200e-6;   ///< deadline flush for partial batches
@@ -136,6 +147,31 @@ class InferenceBatcher {
   Response query(const std::string& scenario, std::vector<double> x,
                  double deadline_s = -1.0);
 
+  /// Async completion signature (see query_async). Invoked exactly once,
+  /// on a batcher worker thread (or on the thread driving stop() for
+  /// requests failed by the final drain). `tag1`/`tag2` echo the submit
+  /// call's values; on failure `error != kNone` and `message` explains.
+  /// The response slot is recycled before the callback runs, so a slow
+  /// callback never holds queue capacity — but it does hold the worker, so
+  /// keep it O(queue-append) cheap.
+  using Completion = void (*)(void* ctx, std::uint64_t tag1,
+                              std::uint64_t tag2, Response&& resp,
+                              QueryError error, const std::string& message);
+
+  /// Nonblocking submit for readiness-driven callers (the epoll reactor):
+  /// enqueues exactly like query() but returns immediately; the coalesced
+  /// result is delivered through `done` on a worker thread. Admission
+  /// errors are still synchronous — throws QueueFullError,
+  /// DeadlineExceededError and "query after stop()" std::runtime_error like
+  /// query(), and `done` is NOT invoked for those. Requires
+  /// QueueMode::kRing (the mutex A/B arm keeps its blocking-only PR 6
+  /// shape); throws std::logic_error otherwise.
+  void query_async(const std::string& scenario, std::vector<double> x,
+                   double deadline_s, Completion done, void* ctx,
+                   std::uint64_t tag1, std::uint64_t tag2);
+
+  bool supports_async() const { return opt_.mode == QueueMode::kRing; }
+
   /// Graceful drain: refuses new queries immediately, serves what was
   /// already accepted for up to opt_.drain_deadline_s, then hard-stops
   /// (stragglers fail with std::runtime_error) and joins the workers.
@@ -169,6 +205,13 @@ class InferenceBatcher {
 
   // --- ring mode -----------------------------------------------------------
   Response ring_query(const std::string& scenario, std::vector<double>&& x);
+  /// Claims a slot, writes the request and pushes it through the ring —
+  /// the shared front half of ring_query (which then parks on the slot)
+  /// and query_async (which returns and lets complete_slot fire the
+  /// slot's callback). Returns the claimed slot index.
+  std::uint32_t ring_submit(const std::string& scenario,
+                            std::vector<double>&& x, Completion done,
+                            void* ctx, std::uint64_t tag1, std::uint64_t tag2);
   void ring_worker_loop();
   /// Serves `batch` (slot indices, all one scenario) and completes each slot.
   void serve_slots(const std::vector<std::uint32_t>& batch);

@@ -1,0 +1,289 @@
+#include "serve/connection.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgm::serve::http {
+
+namespace {
+
+/// Trims ASCII whitespace from both ends (header token handling).
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+bool iequals(const std::string& a, const char* b) {
+  std::size_t i = 0;
+  for (; i < a.size() && b[i]; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+std::size_t find_key(const std::string& body, const std::string& key) {
+  // Walk the JSON structure instead of substring-searching the raw bytes:
+  // only a string immediately followed by ':' is a key, and string
+  // *contents* are stepped over — so {"scenario": "x", "x": [1]} finds the
+  // "x" key, not the two bytes inside the scenario value.
+  std::size_t i = 0;
+  while (i < body.size()) {
+    if (body[i] != '"') {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i + 1;
+    std::size_t j = start;
+    while (j < body.size() && body[j] != '"') {
+      if (body[j] == '\\' && j + 1 < body.size())
+        j += 2;  // escaped char (incl. \") never terminates the string
+      else
+        ++j;
+    }
+    if (j >= body.size()) return std::string::npos;  // unterminated string
+    std::size_t after = j + 1;
+    while (after < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[after])))
+      ++after;
+    const bool is_key = after < body.size() && body[after] == ':';
+    if (is_key && j - start == key.size() &&
+        body.compare(start, key.size(), key) == 0) {
+      ++after;  // past ':'
+      while (after < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[after])))
+        ++after;
+      return after;
+    }
+    // Resume after the colon (a key) or after the closing quote (a value).
+    i = is_key ? after + 1 : j + 1;
+  }
+  return std::string::npos;
+}
+
+bool json_string_field(const std::string& body, const std::string& key,
+                       std::string& out) {
+  std::size_t pos = find_key(body, key);
+  if (pos == std::string::npos || pos >= body.size() || body[pos] != '"')
+    return false;
+  const std::size_t end = body.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = body.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+bool json_number_array(const std::string& body, const std::string& key,
+                       std::vector<double>& out) {
+  std::size_t pos = find_key(body, key);
+  if (pos == std::string::npos || pos >= body.size() || body[pos] != '[')
+    return false;
+  out.clear();
+  ++pos;
+  while (pos < body.size()) {
+    while (pos < body.size() &&
+           (std::isspace(static_cast<unsigned char>(body[pos])) ||
+            body[pos] == ','))
+      ++pos;
+    if (pos >= body.size()) return false;
+    if (body[pos] == ']') return true;
+    char* parse_end = nullptr;
+    const double v = std::strtod(body.c_str() + pos, &parse_end);
+    if (parse_end == body.c_str() + pos) return false;
+    // strtod happily accepts nan, inf and overflowing literals (1e999 ->
+    // HUGE_VAL). None of them is JSON and none may reach the model.
+    if (!std::isfinite(v)) return false;
+    out.push_back(v);
+    pos = static_cast<std::size_t>(parse_end - body.c_str());
+  }
+  return false;
+}
+
+void append_json_f64(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // bare nan/inf tokens are not JSON
+    return;
+  }
+  // Shortest round-trip representation: strtod(to_chars(v)) == v bitwise,
+  // same contract as %.17g but ~an order of magnitude cheaper — this runs
+  // twice per served query, squarely on the reactor's hot path.
+  char buf[40];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, r.ptr);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_error(const std::string& message) {
+  return "{\"error\": \"" + json_escape(message) + "\"}\n";
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string make_response(int status, const std::string& content_type,
+                          const std::string& body, bool keep_alive,
+                          const std::string& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    status_text(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += extra_headers;
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string retry_after_header(double retry_after_s) {
+  const double secs = std::ceil(std::max(retry_after_s, 1.0));
+  return "Retry-After: " +
+         std::to_string(static_cast<long long>(secs)) + "\r\n";
+}
+
+std::string render_query_body(const std::string& scenario,
+                              std::uint64_t version,
+                              const std::vector<double>& y, int& status) {
+  // Defense in depth: the parser already refuses non-finite inputs, but a
+  // model is free to produce them. Refuse to serialize — a 500 with valid
+  // JSON beats a 200 whose body no JSON parser accepts.
+  for (const double v : y) {
+    if (!std::isfinite(v)) {
+      status = 500;
+      return json_error("model produced a non-finite prediction");
+    }
+  }
+  std::string out = "{\"scenario\": \"" + json_escape(scenario) +
+                    "\", \"version\": " + std::to_string(version) +
+                    ", \"y\": [";
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (i) out += ", ";
+    append_json_f64(out, y[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+ParseStatus parse_head(const std::string& buf, HttpRequest& req,
+                       std::size_t& body_offset, std::size_t max_body_bytes) {
+  const std::size_t head_end = buf.find("\r\n\r\n");
+  if (head_end == std::string::npos) return ParseStatus::kNeedMore;
+
+  const std::size_t line_end = buf.find("\r\n");
+  const std::string line = buf.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos)
+    return ParseStatus::kBadRequest;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // HTTP/1.0 peers default to close (they do not understand keep-alive
+  // unless they ask for it); HTTP/1.1 defaults to keep-alive.
+  const std::string version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1")
+    req.keep_alive = true;
+  else if (version == "HTTP/1.0")
+    req.keep_alive = false;
+  else
+    return ParseStatus::kBadRequest;
+
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    const std::size_t eol = buf.find("\r\n", pos);
+    const std::string header = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = header.substr(0, colon);
+    std::string value = trim(header.substr(colon + 1));
+    if (iequals(name, "content-length")) {
+      if (value.empty() ||
+          !std::all_of(value.begin(), value.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+          }))
+        return ParseStatus::kBadRequest;
+      // 20 digits overflows std::uint64_t; any value this long is over any
+      // sane max_body_bytes anyway, so reject before strtoull can wrap.
+      if (value.size() > 19) return ParseStatus::kTooLarge;
+      const std::uint64_t parsed = std::strtoull(value.c_str(), nullptr, 10);
+      if (parsed > max_body_bytes) return ParseStatus::kTooLarge;
+      req.content_length = static_cast<std::size_t>(parsed);
+    } else if (iequals(name, "connection")) {
+      // The header value is a comma-separated token list (RFC 9110) —
+      // "keep-alive, Upgrade" keeps the connection alive. Comparing the
+      // whole value against a single token would silently drop to the
+      // version default. close beats keep-alive if both appear.
+      bool saw_close = false;
+      bool saw_keep_alive = false;
+      std::size_t tp = 0;
+      while (tp <= value.size()) {
+        std::size_t comma = value.find(',', tp);
+        if (comma == std::string::npos) comma = value.size();
+        const std::string token = trim(value.substr(tp, comma - tp));
+        if (iequals(token, "close")) saw_close = true;
+        else if (iequals(token, "keep-alive")) saw_keep_alive = true;
+        tp = comma + 1;
+      }
+      if (saw_close)
+        req.keep_alive = false;
+      else if (saw_keep_alive)
+        req.keep_alive = true;
+    } else if (iequals(name, "x-deadline-ms")) {
+      // Per-request deadline budget. A malformed or non-positive value is a
+      // client bug — reject it rather than silently serving without the
+      // deadline the client thought it set.
+      char* parse_end = nullptr;
+      const double ms =
+          value.empty() ? 0.0 : std::strtod(value.c_str(), &parse_end);
+      if (parse_end != value.c_str() + value.size() || !std::isfinite(ms) ||
+          ms <= 0.0)
+        return ParseStatus::kBadRequest;
+      req.deadline_s = ms * 1e-3;
+    }
+  }
+  body_offset = head_end + 4;
+  return ParseStatus::kOk;
+}
+
+}  // namespace sgm::serve::http

@@ -1,19 +1,31 @@
 #pragma once
 // Minimal HTTP/1.1 front end for the surrogate serving engine.
 //
-// Architecture: one acceptor thread pushes connections onto a queue; a
-// fixed pool of handler threads serves them with blocking reads/writes and
-// keep-alive (connection-per-thread — request concurrency is aggregated by
-// the InferenceBatcher behind it, not by socket multiplexing). In the
-// spirit of GraphLab's in-process metrics_server: a tiny embedded endpoint,
-// not a general web server.
+// Two I/O modes share one routing/parsing core (serve/connection.*):
 //
-// The read path is a streaming loop: leftover buffered bytes carry across
-// requests, so a pipelining client gets one response per request no matter
-// how the bytes chunk onto reads, and responses for already-buffered
-// requests coalesce into one write. Content-Length is validated (digits
-// only, <= max_body_bytes) before any arithmetic; GET-only endpoints
-// return 405 for other verbs; HTTP/1.0 peers default to Connection: close;
+//  * IoMode::kReactor (default) — readiness-driven: a small fixed set of
+//    reactor threads own nonblocking connections in an epoll set. Each
+//    connection is a state machine (streaming parse buffer, ordered
+//    pending-response queue, partial-write cursor); /v1/query dispatches
+//    into the batcher's lock-free ring via query_async and the completion
+//    marshals the response back to the owning reactor (eventfd wake only
+//    when the reactor is actually parked in epoll_wait). Pipelined requests
+//    on one connection batch together in the GEMM and their responses
+//    coalesce into single writes, but always flush in request order.
+//    Thread count is fixed at num_reactors no matter how many thousands of
+//    keep-alive connections are open; idle connections cost one epoll
+//    registration and one lazy idle-wheel entry, not a parked thread.
+//  * IoMode::kThreads — the PR 6 thread-per-connection path with blocking
+//    reads/writes, kept verbatim as the A/B baseline for
+//    `bench_serve --io threads` (concurrency there = handler threads).
+//
+// The read path in both modes is a streaming loop: leftover buffered bytes
+// carry across requests, so a pipelining client gets one response per
+// request no matter how the bytes chunk onto reads. Content-Length is
+// validated (digits only, <= max_body_bytes) before any arithmetic;
+// GET-only endpoints return 405 for other verbs; HTTP/1.0 peers default to
+// Connection: close; the Connection header is parsed as a token list;
+// non-finite numbers are rejected on parse and refused on serialize;
 // everything emitted inside a JSON string is escaped.
 //
 // Degradation contract (the failure model, docs/ARCHITECTURE.md):
@@ -21,13 +33,15 @@
 //    Retry-After hint (backpressure, not collapse);
 //  * a query whose `x-deadline-ms` request header (or the batcher's default
 //    deadline) is smaller than the estimated queue wait is shed up front:
-//    503 + Retry-After + sgm_serve_deadline_shed_total;
+//    503 + Retry-After + sgm_serve_deadline_shed_total — identical in both
+//    I/O modes (query_async sheds synchronously at submit);
 //  * /healthz reports the batcher's health state — "ok" / "degraded" (both
 //    200, degraded means load was shed recently or the queue is deep) or
 //    "draining" (503, stop() in progress) — so load balancers can steer
 //    away before hard failures;
-//  * stop() drains gracefully: accepted connections get their buffered
-//    requests answered (bounded by drain_deadline_s) before the hard stop.
+//  * stop() drains gracefully in both modes: accepted connections get their
+//    buffered requests answered (bounded by drain_deadline_s) before the
+//    hard stop.
 //
 // Routes:
 //   POST /v1/query   {"scenario": "<name>", "x": [..]}
@@ -35,21 +49,24 @@
 //                    optional x-deadline-ms header = per-request budget
 //   GET  /v1/models  JSON array of {scenario, version, resident, pinned}
 //   GET  /healthz    "ok" | "degraded" (200) or "draining" (503)
-//   GET  /metrics    Prometheus text exposition (ServeMetrics::render +
-//                    sgm_registry_quarantined_total from the registry)
+//   GET  /metrics    Prometheus text exposition (ServeMetrics::render,
+//                    including sgm_registry_quarantined_total and the
+//                    sgm_serve_open_connections gauge)
 //
-// Doubles in responses are printed with %.17g, so a served prediction
-// round-trips the text layer bit-exactly (same contract as the telemetry
-// CSVs).
+// Doubles in responses are printed in their shortest round-trip form
+// (std::to_chars), so a served prediction round-trips the text layer
+// bit-exactly (same guarantee the telemetry CSVs get from %.17g).
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/batcher.hpp"
+#include "serve/connection.hpp"
 #include "serve/metrics.hpp"
 #include "serve/model_registry.hpp"
 #include "util/mutex.hpp"
@@ -57,22 +74,43 @@
 
 namespace sgm::serve {
 
+enum class IoMode : std::uint8_t {
+  kReactor,  ///< epoll readiness loop, nonblocking fds (default)
+  kThreads,  ///< thread-per-connection, blocking I/O (A/B baseline)
+};
+
+constexpr const char* to_string(IoMode m) {
+  return m == IoMode::kReactor ? "reactor" : "threads";
+}
+
 struct HttpServerOptions {
   std::uint16_t port = 0;        ///< 0 = ephemeral (read back via port())
-  std::size_t num_workers = 4;   ///< connection handler threads
-  double recv_timeout_s = 10.0;  ///< idle keep-alive cutoff
-  /// Per-connection write timeout (SO_SNDTIMEO): a peer that stops reading
-  /// stalls its own connection, not a handler thread forever. 0 disables.
+  std::size_t num_workers = 4;   ///< kThreads: connection handler threads
+  double recv_timeout_s = 10.0;  ///< idle keep-alive cutoff (both modes)
+  /// kThreads: per-connection write timeout (SO_SNDTIMEO) so a peer that
+  /// stops reading stalls its own connection, not a handler thread forever.
+  /// 0 disables. (The reactor never blocks on writes; a stalled peer just
+  /// keeps its EPOLLOUT armed until the idle cutoff.)
   double send_timeout_s = 10.0;
   /// stop() serves already-accepted connections for at most this long
-  /// before hard-stopping the handlers.
+  /// before hard-stopping.
   double drain_deadline_s = 2.0;
   std::size_t max_body_bytes = 1 << 20;
+  IoMode io_mode = IoMode::kReactor;
+  /// kReactor: event-loop threads. Connections are distributed round-robin
+  /// at accept; each is owned by exactly one reactor for its lifetime.
+  std::size_t num_reactors = 1;
+  /// kReactor: per-connection cap on parsed-but-unanswered requests.
+  /// Reaching it pauses reading (EPOLLIN disarmed) until responses flush —
+  /// per-connection backpressure on top of the batcher's bounded ring.
+  std::size_t max_pipeline = 64;
 };
 
 class HttpServer {
  public:
   /// Binds immediately (so port() is valid) and spawns the threads.
+  /// IoMode::kReactor requires a batcher with supports_async() (ring
+  /// queue mode); throws std::invalid_argument otherwise.
   HttpServer(ModelRegistry& registry, InferenceBatcher& batcher,
              ServeMetrics& metrics, HttpServerOptions opt = {});
   ~HttpServer();
@@ -90,6 +128,9 @@ class HttpServer {
   void stop();
 
  private:
+  struct Reactor;
+
+  // --- kThreads mode -------------------------------------------------------
   void acceptor_loop();
   void handler_loop();
   /// Serves the connection until the peer closes, a request asks for (or
@@ -100,10 +141,46 @@ class HttpServer {
 
   /// `deadline_s` is the request's deadline budget (< 0 = none given).
   /// `extra_headers` receives fully formed "Name: value\r\n" lines to splice
-  /// into the response head (Retry-After on shed responses).
+  /// into the response head (Retry-After on shed responses). Used by the
+  /// blocking path; the reactor splits the /v1/query dispatch out (see
+  /// dispatch_request) and shares route_sync for everything else.
   std::string route(const std::string& method, const std::string& target,
                     const std::string& body, double deadline_s, int& status,
                     std::string& extra_headers);
+
+  /// The non-query endpoints (/healthz, /metrics, /v1/models, 404s, 405s):
+  /// synchronous in both modes.
+  std::string route_sync(const std::string& method, const std::string& target,
+                         int& status);
+
+  // --- kReactor mode -------------------------------------------------------
+  void reactor_loop(Reactor& r);
+  void wake(Reactor& r);
+  void adopt_connection(Reactor& r, util::TcpSocket sock);
+  void close_connection(Reactor& r, Connection& c);
+  void accept_ready(Reactor& r);
+  void on_readable(Reactor& r, Connection& c);
+  /// Parses every complete buffered request (up to the pipeline cap) and
+  /// dispatches each; updates read-interest afterwards.
+  void parse_requests(Reactor& r, Connection& c);
+  void dispatch_request(Reactor& r, Connection& c, http::HttpRequest req);
+  /// Fills `seq` with a locally produced (non-async) response.
+  void finish_local(Reactor& r, Connection& c, std::uint64_t seq, int status,
+                    const std::string& body, bool keep_alive,
+                    const std::string& extra_headers = std::string());
+  void mark_dirty(Reactor& r, Connection& c);
+  /// Recomputes the epoll interest mask (EPOLLIN paused at the pipeline
+  /// cap / after parse stop; EPOLLOUT only while output is backlogged).
+  void update_interest(Reactor& r, Connection& c);
+  /// collect_ready + flush + epoll re-arming + close-when-done for every
+  /// connection marked dirty this cycle.
+  void flush_dirty(Reactor& r);
+  void drain_inboxes(Reactor& r);
+  void expire_idle(Reactor& r);
+  /// InferenceBatcher::Completion trampoline (ctx = Reactor*).
+  static void on_query_done(void* ctx, std::uint64_t conn_id,
+                            std::uint64_t seq, InferenceBatcher::Response&& resp,
+                            QueryError error, const std::string& message);
 
   ModelRegistry& registry_;
   InferenceBatcher& batcher_;
@@ -111,9 +188,12 @@ class HttpServer {
   HttpServerOptions opt_;
 
   util::TcpListener listener_;
-  /// stop() entered its drain phase: handlers close connections at the next
-  /// request boundary, /healthz reports "draining".
+  /// stop() entered its drain phase: no new connections; existing ones are
+  /// answered and closed at their next request boundary; /healthz reports
+  /// "draining".
   std::atomic<bool> draining_{false};
+
+  // kThreads state.
   /// Connections currently inside handle_connection (incremented under mu_
   /// before the queue pop is published, so the drain loop can't miss one).
   std::atomic<std::uint32_t> active_conns_{0};
@@ -123,6 +203,16 @@ class HttpServer {
   bool stop_ SGM_GUARDED_BY(mu_) = false;
   std::thread acceptor_;
   std::vector<std::thread> handlers_;
+
+  // kReactor state.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::atomic<bool> hard_stop_{false};  ///< reactor loops exit when set
+  /// Open reactor-owned connections across all reactors (drain progress).
+  std::atomic<std::uint64_t> reactor_conns_{0};
+  /// query_async dispatches whose completion has not finished yet. The
+  /// completion touches its Reactor's inbox, so stop() must not let the
+  /// reactors die before this reaches zero.
+  std::atomic<std::uint64_t> outstanding_{0};
 };
 
 }  // namespace sgm::serve

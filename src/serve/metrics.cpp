@@ -29,9 +29,16 @@ void append_summary(std::string& out, const char* name,
   out += line;
 }
 
+void append_gauge(std::string& out, const char* name, std::uint64_t v) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %llu\n", name, name,
+                static_cast<unsigned long long>(v));
+  out += line;
+}
+
 }  // namespace
 
-std::string ServeMetrics::render() const {
+std::string ServeMetrics::render(std::uint64_t registry_quarantined) const {
   std::string out;
   out.reserve(2048);
   append_counter(out, "sgm_serve_http_requests_total",
@@ -54,6 +61,9 @@ std::string ServeMetrics::render() const {
                  full_flushes_total.load(std::memory_order_relaxed));
   append_counter(out, "sgm_serve_deadline_flushes_total",
                  deadline_flushes_total.load(std::memory_order_relaxed));
+  append_counter(out, "sgm_registry_quarantined_total", registry_quarantined);
+  append_gauge(out, "sgm_serve_open_connections",
+               open_connections.load(std::memory_order_relaxed));
   append_summary(out, "sgm_serve_http_latency_seconds",
                  http_latency.snapshot());
   append_summary(out, "sgm_serve_query_latency_seconds",

@@ -37,14 +37,19 @@ struct ServeMetrics {
   std::atomic<std::uint64_t> full_flushes_total{0};    ///< flushed at B
   std::atomic<std::uint64_t> deadline_flushes_total{0};///< flushed by timer
 
+  /// Currently open HTTP connections (gauge; both I/O modes maintain it).
+  std::atomic<std::uint64_t> open_connections{0};
+
   /// End-to-end HTTP request handling time.
   util::LatencyHistogram http_latency;
   /// Batcher enqueue -> response latency (what a caller of query() sees).
   util::LatencyHistogram query_latency;
 
   /// Prometheus text exposition: counters plus {0.5, 0.99, 0.999} quantile
-  /// summaries, count and sum for each histogram.
-  std::string render() const;
+  /// summaries, count and sum for each histogram. Registry-owned stats are
+  /// passed in so the one exposition renders in one place (the HTTP layer
+  /// used to splice sgm_registry_quarantined_total in by hand).
+  std::string render(std::uint64_t registry_quarantined = 0) const;
 };
 
 }  // namespace sgm::serve

@@ -1,6 +1,7 @@
 #include "util/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -30,6 +31,13 @@ timeval to_timeval(double seconds) {
       (seconds - std::floor(seconds)) * 1e6);
   return tv;
 }
+
+void set_fd_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags) ::fcntl(fd, F_SETFL, want);
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -55,6 +63,33 @@ long TcpSocket::read_some(char* buf, std::size_t n) {
     return -1;
   }
 }
+
+long TcpSocket::read_nb(char* buf, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r >= 0) return static_cast<long>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return -1;
+  }
+}
+
+long TcpSocket::write_some(const char* buf, std::size_t n) {
+  // socket.short_send caps the chunk at one byte, as in send_all, so the
+  // reactor's partial-write continuation is drivable deterministically.
+  const std::size_t chunk = SGM_FAILPOINT_HIT("socket.short_send")
+                                ? std::min<std::size_t>(1, n)
+                                : n;
+  while (true) {
+    const ssize_t w = ::send(fd_, buf, chunk, MSG_NOSIGNAL);
+    if (w >= 0) return static_cast<long>(w);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return -1;
+  }
+}
+
+void TcpSocket::set_nonblocking(bool on) { set_fd_nonblocking(fd_, on); }
 
 bool TcpSocket::send_all(int fd, const char* buf, std::size_t n) {
   // socket.short_send caps every send at one byte, forcing the partial-
@@ -163,6 +198,25 @@ TcpSocket TcpListener::accept() {
       return TcpSocket();
     }
     return TcpSocket(fd);
+  }
+}
+
+void TcpListener::set_nonblocking(bool on) {
+  set_fd_nonblocking(listen_fd_, on);
+}
+
+TcpSocket TcpListener::accept_nb(bool& would_block) {
+  would_block = false;
+  while (true) {
+    if (closed_.load(std::memory_order_acquire)) return TcpSocket();
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd >= 0) return TcpSocket(fd);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      would_block = true;
+      return TcpSocket();
+    }
+    return TcpSocket();
   }
 }
 

@@ -1,12 +1,14 @@
 #pragma once
-// Thin RAII wrappers over blocking POSIX TCP sockets — the transport under
+// Thin RAII wrappers over POSIX TCP sockets — the transport under
 // serve::HttpServer and the bench/test clients.
 //
-// Scope: loopback-grade serving on Linux/POSIX (what CI and the benches
-// run). Blocking I/O with one handler thread per in-flight connection keeps
-// the server logic sequential and ThreadSanitizer-friendly; there is no
-// epoll reactor here on purpose — the batcher, not the socket layer, is
-// where request concurrency is aggregated.
+// Two I/O disciplines share these wrappers:
+//  * blocking calls (read_some/write_all, TcpListener::accept) — the
+//    thread-per-connection HTTP path and the simple test clients;
+//  * nonblocking calls (read_nb/write_some, TcpListener::accept_nb) for the
+//    epoll reactor in serve::HttpServer — would-block is a normal return
+//    (kWouldBlock), never an error, and partial writes report how far they
+//    got so the caller can keep a write cursor.
 //
 // Shutdown contract: TcpListener::accept() blocks in poll() on the listening
 // fd plus an internal wake pipe, so close() from another thread reliably
@@ -36,9 +38,29 @@ class TcpSocket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  /// Distinguished return of the nonblocking calls: the operation would
+  /// have blocked (EAGAIN/EWOULDBLOCK). Not an error — retry when the fd
+  /// polls readable/writable again.
+  static constexpr long kWouldBlock = -2;
+
   /// Blocking read of up to `n` bytes. Returns the byte count, 0 on orderly
   /// peer shutdown, -1 on error. Retries EINTR internally.
   long read_some(char* buf, std::size_t n);
+
+  /// Nonblocking read: byte count, 0 on orderly peer shutdown, kWouldBlock
+  /// when no data is buffered, -1 on error. Retries EINTR internally. The
+  /// fd must be in nonblocking mode (set_nonblocking / accept_nb).
+  long read_nb(char* buf, std::size_t n);
+
+  /// Nonblocking write of at most `n` bytes: returns how many the kernel
+  /// took (possibly < n), kWouldBlock when the send buffer is full, -1 on
+  /// error. Never raises SIGPIPE; retries EINTR. The `socket.short_send`
+  /// failpoint caps each send at one byte (partial-write continuation
+  /// tests). The fd must be in nonblocking mode.
+  long write_some(const char* buf, std::size_t n);
+
+  /// Toggles O_NONBLOCK on the fd.
+  void set_nonblocking(bool on);
 
   /// Writes all `n` bytes through the single audited send loop (send_all):
   /// partial sends resume where they left off, EINTR retries, and a
@@ -90,9 +112,24 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
 
+  /// The listening descriptor — for registration in an epoll set (the
+  /// reactor I/O mode). Combine with set_nonblocking() + accept_nb().
+  int fd() const { return listen_fd_; }
+
+  /// Puts the *listening* fd into nonblocking mode so accept_nb never
+  /// parks (a readiness notification can be stale: another acceptor, or a
+  /// client that reset before the accept).
+  void set_nonblocking(bool on);
+
   /// Blocks until a client connects or close() is called. Returns an invalid
   /// socket exactly when the listener was closed.
   TcpSocket accept();
+
+  /// Nonblocking accept (accept4): the returned connection is already in
+  /// nonblocking mode. On an invalid return, `would_block` distinguishes
+  /// "no pending connection right now" (true) from a real error or a closed
+  /// listener (false). Retries EINTR/ECONNABORTED internally.
+  TcpSocket accept_nb(bool& would_block);
 
   /// Signals shutdown; idempotent, safe from any thread while accept() is
   /// blocked. Descriptors are released by the destructor (which must not run

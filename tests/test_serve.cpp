@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -31,6 +32,7 @@
 #include "serve/metrics.hpp"
 #include "serve/model_registry.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 #include "util/socket.hpp"
 
@@ -624,10 +626,12 @@ std::string response_body(const std::string& response) {
 }
 
 struct HttpStack {
-  explicit HttpStack(const std::string& root)
+  explicit HttpStack(const std::string& root,
+                     sgm::serve::IoMode io = sgm::serve::IoMode::kReactor)
       : registry(root), batcher(registry, batcher_opts(), &metrics) {
     sgm::serve::HttpServerOptions hopt;
     hopt.num_workers = 2;
+    hopt.io_mode = io;
     server = std::make_unique<sgm::serve::HttpServer>(registry, batcher,
                                                       metrics, hopt);
   }
@@ -1114,6 +1118,439 @@ TEST_F(ServeTest, Http503RetryWithBackoffEventuallySucceeds) {
   EXPECT_TRUE(succeeded)
       << "retry-with-backoff must succeed once the pool drains";
   EXPECT_GE(metrics.rejected_total.load(), 1u);
+}
+
+// ----------------------------------------- PR 10: reactor + request-path fixes
+
+using sgm::serve::IoMode;
+
+/// Reads exactly one complete HTTP response (head + Content-Length body)
+/// from a keep-alive connection. `leftover` carries bytes of the *next*
+/// response across calls, so pipelined responses split correctly no matter
+/// how they chunk onto reads. Returns "" on EOF/error before completion.
+std::string read_one_response(sgm::util::TcpSocket& conn,
+                              std::string& leftover) {
+  std::string buf = std::move(leftover);
+  leftover.clear();
+  for (;;) {
+    const std::size_t head_end = buf.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      std::size_t len = 0;
+      const std::size_t cl = buf.find("Content-Length: ");
+      if (cl != std::string::npos && cl < head_end)
+        len = std::strtoul(buf.c_str() + cl + 16, nullptr, 10);
+      const std::size_t total = head_end + 4 + len;
+      if (buf.size() >= total) {
+        leftover = buf.substr(total);
+        return buf.substr(0, total);
+      }
+    }
+    char chunk[4096];
+    const long n = conn.read_some(chunk, sizeof(chunk));
+    if (n <= 0) return "";
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// Every request-path contract must hold identically under the epoll
+/// reactor (default) and the thread-per-connection A/B baseline.
+class HttpIo : public ServeTest,
+               public testing::WithParamInterface<IoMode> {};
+
+INSTANTIATE_TEST_SUITE_P(IoModes, HttpIo,
+                         testing::Values(IoMode::kReactor, IoMode::kThreads),
+                         [](const testing::TestParamInfo<IoMode>& info) {
+                           return std::string(sgm::serve::to_string(info.param));
+                         });
+
+TEST_P(HttpIo, QueryAndPipeliningServeInBothModes) {
+  HttpStack stack(root_, GetParam());
+  sgm::util::Rng rng(61);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("s", net);
+  const std::uint16_t port = stack.server->port();
+
+  const std::string body = "{\"scenario\": \"s\", \"x\": [0.5, 0.5]}";
+  EXPECT_EQ(response_status(http_request(port, "POST", "/v1/query", body)),
+            200);
+
+  // Three pipelined requests in one write: exactly three responses, in
+  // order, on one connection.
+  std::string wire;
+  for (int i = 0; i < 3; ++i) {
+    wire += "POST /v1/query HTTP/1.1\r\nHost: h\r\n";
+    wire += (i == 2) ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    wire += body;
+  }
+  const std::string responses = raw_exchange(port, wire);
+  EXPECT_EQ(count_of(responses, "HTTP/1.1 200"), 3u) << responses;
+}
+
+// Satellite 1: nan/inf and overflowing literals like 1e999 are not JSON and
+// must never reach the model as silent poison — reject with 400 at parse.
+TEST_P(HttpIo, NonFiniteNumbersRejectedWith400) {
+  HttpStack stack(root_, GetParam());
+  sgm::util::Rng rng(62);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("s", net);
+  const std::uint16_t port = stack.server->port();
+
+  for (const char* bad :
+       {"{\"scenario\": \"s\", \"x\": [nan, 0.5]}",
+        "{\"scenario\": \"s\", \"x\": [inf, 0.5]}",
+        "{\"scenario\": \"s\", \"x\": [-inf, 0.5]}",
+        "{\"scenario\": \"s\", \"x\": [1e999, 0.5]}",
+        "{\"scenario\": \"s\", \"x\": [0.5, -1e999]}"}) {
+    const std::string resp = http_request(port, "POST", "/v1/query", bad);
+    EXPECT_EQ(response_status(resp), 400) << bad << "\n" << resp;
+  }
+  // The connection machinery is unharmed: a clean request still serves.
+  EXPECT_EQ(response_status(http_request(
+                port, "POST", "/v1/query",
+                "{\"scenario\": \"s\", \"x\": [0.5, 0.5]}")),
+            200);
+}
+
+// Defense in depth on the response side: if the model ever produces a
+// non-finite prediction, the server refuses to serialize it (a bare `nan`
+// token is not JSON) and fails the request with 500 instead.
+TEST_F(ServeTest, RenderQueryBodyRefusesNonFinitePredictions) {
+  int status = 200;
+  const std::string ok =
+      sgm::serve::http::render_query_body("s", 1, {0.5, -0.25}, status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(ok.find("\"y\": ["), std::string::npos) << ok;
+
+  for (const double poison : {std::nan(""), HUGE_VAL, -HUGE_VAL}) {
+    status = 200;
+    const std::string err =
+        sgm::serve::http::render_query_body("s", 1, {0.5, poison}, status);
+    EXPECT_EQ(status, 500);
+    EXPECT_NE(err.find("non-finite"), std::string::npos) << err;
+    EXPECT_EQ(err.find("nan"), std::string::npos) << err;
+    EXPECT_EQ(err.find("inf"), std::string::npos) << err;
+  }
+}
+
+// Satellite 2 (the ISSUE's exact reproducer): a scenario literally named
+// "x" — so the *value* of "scenario" spells the next key — must parse. The
+// old find_key raw-scanned for `"x"` and matched the one inside the
+// scenario string, then failed to find an array after it.
+TEST_P(HttpIo, ScenarioValueCannotShadowBodyKey) {
+  HttpStack stack(root_, GetParam());
+  MlpConfig cfg = small_config();
+  cfg.input_dim = 1;
+  sgm::util::Rng rng(63);
+  Mlp net(cfg, rng);
+  stack.registry.publish("x", net);
+  const std::uint16_t port = stack.server->port();
+
+  Matrix probe(1, 1);
+  probe.row(0)[0] = 1.0;
+  const Matrix want = net.forward(probe);
+
+  const std::string resp = http_request(port, "POST", "/v1/query",
+                                        "{\"scenario\": \"x\", \"x\": [1]}");
+  ASSERT_EQ(response_status(resp), 200) << resp;
+  const std::string body = response_body(resp);
+  const std::size_t ypos = body.find("\"y\": [");
+  ASSERT_NE(ypos, std::string::npos) << body;
+  const char* cursor = body.c_str() + ypos + 6;
+  for (std::size_t c = 0; c < cfg.output_dim; ++c) {
+    char* end = nullptr;
+    const double got = std::strtod(cursor, &end);
+    ASSERT_NE(cursor, end) << body;
+    EXPECT_EQ(std::memcmp(&got, &want.row(0)[c], sizeof(double)), 0)
+        << "col " << c << ": served " << got << " != " << want.row(0)[c];
+    cursor = end;
+    while (*cursor == ',' || *cursor == ' ') ++cursor;
+  }
+}
+
+// Satellite 3b: the Connection header is a comma-separated token list.
+// "keep-alive, Upgrade" on an HTTP/1.0 request must keep the connection
+// alive (the old exact-match compare saw neither token and fell back to the
+// 1.0 close default); "Upgrade, close" on HTTP/1.1 must close.
+TEST_P(HttpIo, ConnectionHeaderParsedAsTokenList) {
+  HttpStack stack(root_, GetParam());
+  sgm::util::Rng rng(64);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("s", net);
+  const std::uint16_t port = stack.server->port();
+
+  sgm::util::TcpSocket conn = sgm::util::tcp_connect(port);
+  std::string leftover;
+  ASSERT_TRUE(conn.write_all(
+      "GET /healthz HTTP/1.0\r\nHost: h\r\n"
+      "Connection: keep-alive, Upgrade\r\n\r\n"));
+  std::string resp = read_one_response(conn, leftover);
+  ASSERT_EQ(response_status(resp), 200) << resp;
+  EXPECT_NE(resp.find("Connection: keep-alive"), std::string::npos) << resp;
+
+  // The connection really is still alive: a second request serves on it.
+  ASSERT_TRUE(conn.write_all(
+      "GET /healthz HTTP/1.0\r\nHost: h\r\nConnection: close\r\n\r\n"));
+  resp = read_one_response(conn, leftover);
+  ASSERT_EQ(response_status(resp), 200) << resp;
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos) << resp;
+
+  // Any `close` token wins regardless of its neighbors.
+  const std::string closed = raw_exchange(
+      port,
+      "GET /healthz HTTP/1.1\r\nHost: h\r\nConnection: Upgrade, close\r\n\r\n");
+  EXPECT_EQ(response_status(closed), 200) << closed;
+  EXPECT_NE(closed.find("Connection: close"), std::string::npos) << closed;
+}
+
+// Satellite 3a: EINTR while parked waiting for readiness is a retry, never
+// a disconnect. The failpoint fakes a signal delivery in the idle wait of
+// whichever I/O path is under test; a healthy keep-alive connection must
+// survive it and serve the next request.
+TEST_P(HttpIo, EintrDuringIdleWaitIsRetriedNotFatal) {
+  HttpStack stack(root_, GetParam());
+  sgm::util::Rng rng(65);
+  Mlp net(small_config(), rng);
+  stack.registry.publish("s", net);
+  const std::uint16_t port = stack.server->port();
+
+  const char* failpoint = GetParam() == IoMode::kReactor ? "http.epoll_eintr"
+                                                         : "http.poll_eintr";
+  sgm::util::TcpSocket conn = sgm::util::tcp_connect(port);
+  std::string leftover;
+  sgm::util::FailpointRegistry::instance().arm(failpoint, "once");
+  ASSERT_TRUE(conn.write_all(
+      "GET /healthz HTTP/1.1\r\nHost: h\r\nConnection: keep-alive\r\n\r\n"));
+  std::string resp = read_one_response(conn, leftover);
+  sgm::util::FailpointRegistry::instance().disarm_all();
+  ASSERT_EQ(response_status(resp), 200)
+      << "EINTR must not tear down the connection: " << resp;
+
+  // Still alive after the fake signal: the next request serves too.
+  ASSERT_TRUE(conn.write_all(
+      "GET /healthz HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n"));
+  resp = read_one_response(conn, leftover);
+  EXPECT_EQ(response_status(resp), 200) << resp;
+}
+
+// The open-connections gauge tracks accepted-but-not-yet-closed sockets in
+// both I/O modes.
+TEST_P(HttpIo, MetricsReportOpenConnectionsGauge) {
+  HttpStack stack(root_, GetParam());
+  const std::uint16_t port = stack.server->port();
+
+  // Hold one keep-alive connection open while scraping on a second: the
+  // gauge must count at least the held one plus the scraper itself.
+  sgm::util::TcpSocket held = sgm::util::tcp_connect(port);
+  std::string leftover;
+  ASSERT_TRUE(held.write_all(
+      "GET /healthz HTTP/1.1\r\nHost: h\r\nConnection: keep-alive\r\n\r\n"));
+  ASSERT_EQ(response_status(read_one_response(held, leftover)), 200);
+
+  const std::string metrics =
+      response_body(http_request(port, "GET", "/metrics", ""));
+  const std::size_t pos = metrics.find("gauge\nsgm_serve_open_connections ");
+  ASSERT_NE(pos, std::string::npos) << metrics;
+  const unsigned long open =
+      std::strtoul(metrics.c_str() + pos + 33, nullptr, 10);
+  EXPECT_GE(open, 2u) << metrics;
+}
+
+// Satellite 4: the reactor's load-bearing claim — hundreds of concurrent
+// keep-alive connections, all pipelining, served by a *fixed* reactor
+// thread count, with every response bitwise-attributable to the model. 16
+// client threads drive 16 sockets each (256 concurrent connections); each
+// round writes a 4-deep pipeline per socket and then validates all four
+// responses in order. Runs under TSan in the CI serve-smoke job.
+TEST_F(ServeTest, ReactorServes256PipelinedConnectionsBitwiseExact) {
+  ModelRegistry registry(root_);
+  ServeMetrics metrics;
+  BatcherOptions bopt;
+  bopt.max_delay_s = 200e-6;
+  bopt.queue_capacity = 4096;  // 256 conns x 4-deep pipelines, no 503s
+  InferenceBatcher batcher(registry, bopt, &metrics);
+  sgm::serve::HttpServerOptions hopt;  // reactor defaults
+  sgm::serve::HttpServer server(registry, batcher, metrics, hopt);
+
+  sgm::util::Rng rng(66);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+  const std::uint16_t port = server.port();
+
+  const std::size_t kProbes = 32;
+  const Matrix probes = probe_batch(kProbes, net.config().input_dim, 6767);
+  const Matrix expected = net.forward(probes);
+
+  constexpr std::size_t kThreads = 16, kConnsPerThread = 16, kRounds = 3,
+                        kPipeline = 4;
+  std::vector<sgm::util::TcpSocket> conns(kThreads * kConnsPerThread);
+  for (auto& c : conns) c = sgm::util::tcp_connect(port);
+
+  std::atomic<int> bad_status{0}, bad_payload{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<std::string> leftovers(kConnsPerThread);
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        // Write phase: a 4-deep pipeline on every socket this thread owns.
+        for (std::size_t s = 0; s < kConnsPerThread; ++s) {
+          std::string wire;
+          for (std::size_t q = 0; q < kPipeline; ++q) {
+            const std::size_t r = (t * 131 + s * 17 + round * 5 + q) % kProbes;
+            char body[256];
+            std::snprintf(body, sizeof(body),
+                          "{\"scenario\": \"s\", \"x\": [%.17g, %.17g]}",
+                          probes.row(r)[0], probes.row(r)[1]);
+            wire += "POST /v1/query HTTP/1.1\r\nHost: h\r\n";
+            wire += "Connection: keep-alive\r\n";
+            wire += "Content-Length: " + std::to_string(std::strlen(body)) +
+                    "\r\n\r\n";
+            wire += body;
+          }
+          if (!conns[t * kConnsPerThread + s].write_all(wire))
+            bad_status.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Read phase: four in-order responses per socket, each bitwise
+        // equal to the lone forward() on its probe row.
+        for (std::size_t s = 0; s < kConnsPerThread; ++s) {
+          sgm::util::TcpSocket& conn = conns[t * kConnsPerThread + s];
+          for (std::size_t q = 0; q < kPipeline; ++q) {
+            const std::size_t r = (t * 131 + s * 17 + round * 5 + q) % kProbes;
+            const std::string resp = read_one_response(conn, leftovers[s]);
+            if (response_status(resp) != 200) {
+              bad_status.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            const std::string body = response_body(resp);
+            const std::size_t ypos = body.find("\"y\": [");
+            const char* cursor = body.c_str() + ypos + 6;
+            bool row_ok = ypos != std::string::npos;
+            for (std::size_t c = 0; row_ok && c < expected.cols(); ++c) {
+              char* end = nullptr;
+              const double got = std::strtod(cursor, &end);
+              row_ok = end != cursor &&
+                       std::memcmp(&got, &expected.row(r)[c],
+                                   sizeof(double)) == 0;
+              cursor = end;
+              while (*cursor == ',' || *cursor == ' ') ++cursor;
+            }
+            if (!row_ok) bad_payload.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(bad_status.load(), 0) << "non-200 under the keep-alive soak";
+  EXPECT_EQ(bad_payload.load(), 0)
+      << "response not bitwise equal to its probe's lone forward()";
+  EXPECT_GE(metrics.queries_total.load(),
+            kThreads * kConnsPerThread * kRounds * kPipeline);
+
+  // The whole soak ran on the default fixed reactor thread count; the
+  // gauge saw every connection.
+  conns.clear();  // EOF all 256; server reaps them before stop()
+  server.stop();
+  batcher.stop();
+}
+
+// query_async is the reactor's dispatch primitive: the completion must
+// deliver the same bitwise payload the blocking query() returns, and the
+// mutex A/B arm must refuse it loudly (it has no completion machinery).
+TEST_F(ServeTest, QueryAsyncDeliversBitwiseEqualCompletion) {
+  ModelRegistry registry(root_);
+  sgm::util::Rng rng(67);
+  Mlp net(small_config(), rng);
+  registry.publish("s", net);
+
+  BatcherOptions opt;
+  opt.max_delay_s = 100e-6;
+  InferenceBatcher batcher(registry, opt);
+  ASSERT_TRUE(batcher.supports_async());
+
+  struct Ctx {
+    std::atomic<bool> done{false};
+    InferenceBatcher::Response resp;
+    sgm::serve::QueryError error = sgm::serve::QueryError::kNone;
+    std::uint64_t tag1 = 0, tag2 = 0;
+  } ctx;
+  batcher.query_async(
+      "s", {0.25, 0.75}, /*deadline_s=*/-1.0,
+      [](void* p, std::uint64_t t1, std::uint64_t t2,
+         InferenceBatcher::Response&& r, sgm::serve::QueryError e,
+         const std::string&) {
+        auto* c = static_cast<Ctx*>(p);
+        c->resp = std::move(r);
+        c->error = e;
+        c->tag1 = t1;
+        c->tag2 = t2;
+        c->done.store(true, std::memory_order_release);
+      },
+      &ctx, 7, 9);
+  while (!ctx.done.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  EXPECT_EQ(ctx.error, sgm::serve::QueryError::kNone);
+  EXPECT_EQ(ctx.tag1, 7u);
+  EXPECT_EQ(ctx.tag2, 9u);
+  const auto blocking = batcher.query("s", {0.25, 0.75});
+  ASSERT_EQ(ctx.resp.y.size(), blocking.y.size());
+  EXPECT_EQ(std::memcmp(ctx.resp.y.data(), blocking.y.data(),
+                        blocking.y.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(ctx.resp.version, blocking.version);
+
+  // Unknown scenarios fail through the completion, not an exception.
+  struct ErrCtx {
+    std::atomic<bool> done{false};
+    sgm::serve::QueryError error = sgm::serve::QueryError::kNone;
+  } ectx;
+  batcher.query_async(
+      "ghost", {0.1, 0.2}, -1.0,
+      [](void* p, std::uint64_t, std::uint64_t, InferenceBatcher::Response&&,
+         sgm::serve::QueryError e, const std::string&) {
+        auto* c = static_cast<ErrCtx*>(p);
+        c->error = e;
+        c->done.store(true, std::memory_order_release);
+      },
+      &ectx, 0, 0);
+  while (!ectx.done.load(std::memory_order_acquire)) std::this_thread::yield();
+  EXPECT_EQ(ectx.error, sgm::serve::QueryError::kNotFound);
+  batcher.stop();
+
+  BatcherOptions mopt;
+  mopt.mode = QueueMode::kMutex;
+  InferenceBatcher mutex_batcher(registry, mopt);
+  EXPECT_FALSE(mutex_batcher.supports_async());
+  EXPECT_THROW(mutex_batcher.query_async(
+                   "s", {0.1, 0.2}, -1.0,
+                   [](void*, std::uint64_t, std::uint64_t,
+                      InferenceBatcher::Response&&, sgm::serve::QueryError,
+                      const std::string&) {},
+                   nullptr, 0, 0),
+               std::logic_error);
+  mutex_batcher.stop();
+}
+
+// The reactor refuses to start on a batcher that cannot dispatch
+// asynchronously — a misconfiguration, not a silent fallback.
+TEST_F(ServeTest, ReactorRequiresAsyncCapableBatcher) {
+  ModelRegistry registry(root_);
+  ServeMetrics metrics;
+  BatcherOptions bopt;
+  bopt.mode = QueueMode::kMutex;
+  InferenceBatcher batcher(registry, bopt, &metrics);
+  sgm::serve::HttpServerOptions hopt;  // io_mode defaults to kReactor
+  EXPECT_THROW(sgm::serve::HttpServer(registry, batcher, metrics, hopt),
+               std::invalid_argument);
+
+  // The same batcher works fine behind the thread-per-connection mode.
+  hopt.io_mode = IoMode::kThreads;
+  sgm::serve::HttpServer server(registry, batcher, metrics, hopt);
+  EXPECT_EQ(response_body(http_request(server.port(), "GET", "/healthz", "")),
+            "ok\n");
+  server.stop();
+  batcher.stop();
 }
 
 }  // namespace

@@ -167,6 +167,103 @@ TEST(Socket, SendTimeoutFailsStalledWrite) {
       << "the write timeout must bound the stall";
 }
 
+// --- nonblocking API (the epoll reactor's transport, PR 10) ----------------
+
+TEST(Socket, ReadNbReturnsWouldBlockOnEmptySocket) {
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+  lb.server.set_nonblocking(true);
+  char buf[8];
+  // No bytes in flight: a nonblocking read must report would-block, not
+  // park and not error.
+  EXPECT_EQ(lb.server.read_nb(buf, sizeof(buf)), TcpSocket::kWouldBlock);
+
+  ASSERT_TRUE(lb.client.write_all("hi", 2));
+  // Data may take a scheduler beat to land in the receive buffer.
+  long got = TcpSocket::kWouldBlock;
+  for (int i = 0; i < 1000 && got == TcpSocket::kWouldBlock; ++i) {
+    got = lb.server.read_nb(buf, sizeof(buf));
+    if (got == TcpSocket::kWouldBlock)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(got, 2);
+  EXPECT_EQ(std::string(buf, 2), "hi");
+
+  lb.client.close();
+  got = TcpSocket::kWouldBlock;
+  for (int i = 0; i < 1000 && got == TcpSocket::kWouldBlock; ++i)
+    got = lb.server.read_nb(buf, sizeof(buf));
+  EXPECT_EQ(got, 0) << "orderly shutdown must still read as 0";
+}
+
+TEST(Socket, WriteSomeReportsWouldBlockWhenBufferFull) {
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+  lb.client.set_nonblocking(true);
+
+  // The peer never reads: keep writing until the kernel buffers fill. A
+  // nonblocking write must then report would-block instead of parking.
+  const std::string chunk(64 * 1024, 'x');
+  long rc = 0;
+  std::size_t total = 0;
+  for (int i = 0; i < 4096; ++i) {
+    rc = lb.client.write_some(chunk.data(), chunk.size());
+    if (rc == TcpSocket::kWouldBlock) break;
+    ASSERT_GT(rc, 0);
+    total += static_cast<std::size_t>(rc);
+  }
+  EXPECT_EQ(rc, TcpSocket::kWouldBlock);
+
+  // Drain on the blocking side: every byte the writer thinks it sent must
+  // arrive (partial-send accounting is exact).
+  std::size_t received = 0;
+  char buf[65536];
+  while (received < total) {
+    const long n = lb.server.read_some(buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    received += static_cast<std::size_t>(n);
+  }
+  EXPECT_EQ(received, total);
+}
+
+TEST(Socket, WriteSomeHonorsShortSendFailpoint) {
+  sgm::util::FailpointRegistry::instance().arm("socket.short_send", "always");
+  TcpListener listener(0);
+  Loopback lb = make_loopback(listener);
+  lb.client.set_nonblocking(true);
+  // The failpoint caps each kernel send at one byte — the partial-write
+  // continuation path the reactor's flush cursor depends on.
+  EXPECT_EQ(lb.client.write_some("abc", 3), 1);
+  sgm::util::FailpointRegistry::instance().disarm_all();
+}
+
+TEST(Socket, AcceptNbDistinguishesWouldBlockFromClosed) {
+  TcpListener listener(0);
+  listener.set_nonblocking(true);
+
+  bool would_block = false;
+  TcpSocket conn = listener.accept_nb(would_block);
+  EXPECT_FALSE(conn.valid());
+  EXPECT_TRUE(would_block) << "no pending connection is not an error";
+
+  // A pending connection accepts without parking, already nonblocking:
+  // a read on the fresh connection reports would-block, not a stall.
+  TcpSocket client = tcp_connect(listener.port());
+  for (int i = 0; i < 1000 && !conn.valid(); ++i) {
+    conn = listener.accept_nb(would_block);
+    if (!conn.valid())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(conn.valid());
+  char buf[4];
+  EXPECT_EQ(conn.read_nb(buf, sizeof(buf)), TcpSocket::kWouldBlock);
+
+  listener.close();
+  conn = listener.accept_nb(would_block);
+  EXPECT_FALSE(conn.valid());
+  EXPECT_FALSE(would_block) << "a closed listener is terminal, not a retry";
+}
+
 TEST(Socket, ConnectToDeadPortThrows) {
   // Bind an ephemeral port, then close it: connecting to it afterwards
   // must be refused (nothing is listening there anymore).
